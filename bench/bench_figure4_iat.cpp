@@ -1,0 +1,34 @@
+// Figure 4 — impact of the burst inter-arrival time T on the 99.999% RTT
+// quantile. P_S = 125 B, K = 9; T = 40 vs 60 ms. The paper notes the RTT
+// is virtually proportional to T when the downlink dominates (ratio 3/2).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rtt_model.h"
+
+int main() {
+  using namespace fpsq;
+  bench::header("Figure 4", "99.999% RTT vs load, IAT = 40 vs 60 ms");
+
+  core::AccessScenario s;
+  s.server_packet_bytes = 125.0;
+  s.erlang_k = 9;
+
+  std::printf("%8s %14s %14s %10s\n", "load", "IAT=40ms", "IAT=60ms",
+              "ratio");
+  for (int pct = 5; pct <= 90; pct += 5) {
+    const double rho = pct / 100.0;
+    s.tick_ms = 40.0;
+    const core::RttModel m40{s, s.clients_for_downlink_load(rho)};
+    s.tick_ms = 60.0;
+    const core::RttModel m60{s, s.clients_for_downlink_load(rho)};
+    const double q40 = m40.rtt_quantile_ms(1e-5);
+    const double q60 = m60.rtt_quantile_ms(1e-5);
+    std::printf("%7d%% %14.1f %14.1f %10.3f\n", pct, q40, q60,
+                q60 / q40);
+  }
+  bench::footnote(
+      "Paper: for T = 60 ms the RTT is about 3/2 times the T = 40 ms"
+      " value (proportionality to T when the downlink dominates).");
+  return 0;
+}

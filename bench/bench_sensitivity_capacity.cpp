@@ -1,0 +1,46 @@
+// Section-4 robustness claim S2: at fixed load the results barely change
+// with R_up, R_down and C — the downstream queueing model is invariant in
+// C; only the small serialization delays move.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rtt_model.h"
+
+int main() {
+  using namespace fpsq;
+  bench::header("Sensitivity S2",
+                "RTT vs aggregation capacity C at fixed load (K = 9, "
+                "P_S = 125 B, T = 40 ms)");
+
+  core::AccessScenario s;
+  s.erlang_k = 9;
+
+  std::printf("%12s %10s %14s %16s\n", "C [Mb/s]", "N@50%",
+              "stoch. q [ms]", "full RTT q [ms]");
+  for (double c_mbps : {2.5, 5.0, 10.0, 20.0, 40.0}) {
+    s.bottleneck_bps = c_mbps * 1e6;
+    const double n = s.clients_for_downlink_load(0.5);
+    const core::RttModel m{s, n};
+    std::printf("%12.1f %10.0f %14.2f %16.2f\n", c_mbps, n,
+                m.stochastic_quantile_ms(1e-5), m.rtt_quantile_ms(1e-5));
+  }
+
+  std::printf("\nAccess rates at C = 5 Mb/s, load 50%%:\n");
+  s.bottleneck_bps = 5e6;
+  std::printf("%12s %12s %16s\n", "R_up [kb/s]", "R_down [kb/s]",
+              "full RTT q [ms]");
+  for (const auto& [up, down] :
+       {std::pair{128.0, 1024.0}, std::pair{256.0, 2048.0},
+        std::pair{512.0, 4096.0}}) {
+    s.uplink_bps = up * 1e3;
+    s.downlink_bps = down * 1e3;
+    const core::RttModel m{s, s.clients_for_downlink_load(0.5)};
+    std::printf("%12.0f %12.0f %16.2f\n", up, down,
+                m.rtt_quantile_ms(1e-5));
+  }
+  bench::footnote(
+      "The stochastic quantile is identical across C at fixed load (the"
+      " model depends on load only); the full RTT moves by the ~1-2 ms"
+      " serialization component, exactly as Section 4 states.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 1 — Counter-Strike traffic characteristics (Färber [11]).
+// Generates a synthetic Counter-Strike session from the published Ext/Det
+// laws, re-measures it with the Section-2.2 analyzer, and prints measured
+// vs published mean/CoV for both directions.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "trace/analyzer.h"
+#include "traffic/game_profiles.h"
+#include "traffic/synthetic.h"
+
+int main() {
+  using namespace fpsq;
+  bench::header("Table 1", "Counter-Strike traffic characteristics");
+
+  traffic::SyntheticTraceOptions opt;
+  opt.clients = 12;
+  opt.duration_s = 600.0;
+  opt.seed = 1001;
+  const auto t = traffic::generate_trace(traffic::counter_strike(), opt);
+
+  trace::AnalyzerOptions a;
+  a.grouping = trace::BurstGrouping::kByGapThreshold;
+  a.gap_threshold_s = 8e-3;
+  const auto c = trace::analyze(t, a);
+
+  std::printf("%-34s %10s %8s   %12s\n", "", "measured", "CoV",
+              "paper (mean/CoV)");
+  std::printf("%-34s %10.1f %8.3f   %12s\n",
+              "server->client packet size [B]",
+              c.server_packet_size_bytes.mean(),
+              c.server_packet_size_bytes.cov(), "127 / 0.74");
+  std::printf("%-34s %10.1f %8.3f   %12s\n",
+              "server->client burst IAT [ms]", c.burst_iat_ms.mean(),
+              c.burst_iat_ms.cov(), "62 / 0.5");
+  std::printf("%-34s %10.1f %8.3f   %12s\n",
+              "client->server packet size [B]",
+              c.client_packet_size_bytes.mean(),
+              c.client_packet_size_bytes.cov(), "82 / 0.12");
+  std::printf("%-34s %10.1f %8.3f   %12s\n",
+              "client->server packet IAT [ms]", c.client_iat_ms.mean(),
+              c.client_iat_ms.cov(), "42 / 0.24");
+  std::printf("%-34s %10.1f\n", "packets per burst",
+              c.burst_packet_count.mean());
+  bench::footnote(
+      "Generator uses the paper's *approximations* Ext(120,36), Ext(55,6),"
+      " Ext(80,5.7), Det(40): measured means match those laws (e.g."
+      " Ext(120,36) has mean 140.8); the published raw-trace CoVs include"
+      " measurement variability the fitted laws smooth out.");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Section-4 dimensioning numbers: the maximum allowable downlink load and
+// gamer count N_max for a 50 ms RTT bound (99.999% quantile) at
+// P_S = 125 B, T = 40 ms, C = 5 Mb/s — the paper reports roughly
+// 20%/40%/60% and N_max = 40/80/120 for K = 2/9/20.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dimensioning.h"
+
+int main() {
+  using namespace fpsq;
+  bench::header("Section 4 dimensioning",
+                "max load and gamers for RTT <= 50 ms");
+
+  core::AccessScenario s;  // P_S = 125, T = 40, C = 5 Mb/s defaults
+  std::printf("%6s %12s %10s %14s   %s\n", "K", "rho_max", "N_max",
+              "RTT@max [ms]", "paper (rho_max / N_max)");
+  const char* paper[] = {"~20% / 40", "~40% / 80", "~60% / 120"};
+  int i = 0;
+  for (int k : {2, 9, 20}) {
+    s.erlang_k = k;
+    const auto d = core::dimension_for_rtt(s, 50.0, 1e-5);
+    std::printf("%6d %11.1f%% %10d %14.1f   %s\n", k, 100.0 * d.rho_max,
+                d.n_max_int, d.rtt_at_max_ms, paper[i++]);
+  }
+
+  std::printf("\nSame question for an 'acceptable' 100 ms bound:\n");
+  for (int k : {2, 9, 20}) {
+    s.erlang_k = k;
+    const auto d = core::dimension_for_rtt(s, 100.0, 1e-5);
+    std::printf("%6d %11.1f%% %10d %14.1f\n", k, 100.0 * d.rho_max,
+                d.n_max_int, d.rtt_at_max_ms);
+  }
+  bench::footnote(
+      "Headline conclusion of the paper: the tolerable load on the"
+      " aggregation link is surprisingly low, and strongly K-dependent.");
+  return 0;
+}

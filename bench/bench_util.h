@@ -1,0 +1,18 @@
+// Shared helpers for the reproduction benches: each bench regenerates one
+// table or figure of the paper and prints the measured values next to the
+// published reference numbers.
+#pragma once
+
+#include <cstdio>
+
+namespace fpsq::bench {
+
+inline void header(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void footnote(const char* text) { std::printf("  %s\n", text); }
+
+}  // namespace fpsq::bench

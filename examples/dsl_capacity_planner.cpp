@@ -1,0 +1,44 @@
+// Capacity planner: how many gamers can a given gaming share support
+// under an RTT bound? Sweeps the burstiness assumption K, since the paper
+// shows it dominates the answer.
+//
+//   $ ./dsl_capacity_planner [bound_ms] [C_mbps] [tick_ms] [PS_bytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dimensioning.h"
+
+int main(int argc, char** argv) {
+  using namespace fpsq::core;
+
+  const double bound_ms = argc > 1 ? std::atof(argv[1]) : 50.0;
+  const double c_mbps = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const double tick_ms = argc > 3 ? std::atof(argv[3]) : 40.0;
+  const double ps = argc > 4 ? std::atof(argv[4]) : 125.0;
+  if (!(bound_ms > 0) || !(c_mbps > 0) || !(tick_ms > 0) || !(ps > 0)) {
+    std::fprintf(stderr, "all arguments must be positive\n");
+    return 1;
+  }
+
+  AccessScenario s;
+  s.bottleneck_bps = c_mbps * 1e6;
+  s.tick_ms = tick_ms;
+  s.server_packet_bytes = ps;
+
+  std::printf("Capacity plan: RTT(99.999%%) <= %.0f ms on C = %.1f Mb/s, "
+              "T = %.0f ms, P_S = %.0f B\n\n",
+              bound_ms, c_mbps, tick_ms, ps);
+  std::printf("%6s %12s %10s %16s\n", "K", "max load", "max gamers",
+              "RTT at max [ms]");
+  for (int k : {2, 5, 9, 15, 20, 30}) {
+    s.erlang_k = k;
+    const auto d = dimension_for_rtt(s, bound_ms, 1e-5);
+    std::printf("%6d %11.1f%% %10d %16.1f\n", k, 100.0 * d.rho_max,
+                d.n_max_int, d.rtt_at_max_ms);
+  }
+  std::printf(
+      "\nK is the Erlang order of the server burst-size law: larger K ="
+      "\nmore regular bursts. The paper urges measuring it carefully —"
+      "\nthe admissible population triples between K = 2 and K = 20.\n");
+  return 0;
+}

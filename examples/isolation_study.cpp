@@ -1,0 +1,73 @@
+// Isolation study: the paper's Section-1 premise is that with WFQ or
+// head-of-line priority scheduling, gaming traffic can be analyzed in
+// isolation from elastic (TCP-like) traffic. This example injects heavy
+// elastic cross traffic into the bottleneck and compares the gaming delay
+// under FIFO, priority and WFQ against a clean (no cross traffic) run.
+//
+//   $ ./isolation_study [cross_load]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/gaming_scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace fpsq::sim;
+
+  const double cross = argc > 1 ? std::atof(argv[1]) : 0.5;
+  if (cross < 0.0 || cross >= 1.0) {
+    std::fprintf(stderr, "cross_load must be in [0, 1)\n");
+    return 1;
+  }
+
+  GamingScenarioConfig base;
+  base.n_clients = 40;
+  base.tick_ms = 40.0;
+  base.erlang_k = 9;
+  base.duration_s = 120.0;
+  base.warmup_s = 5.0;
+  base.seed = 99;
+
+  auto run = [&](GamingScenarioConfig::Scheduler sched, double load) {
+    GamingScenarioConfig cfg = base;
+    cfg.scheduler = sched;
+    cfg.cross_load = load;
+    return run_gaming_scenario(cfg);
+  };
+
+  std::printf("Gaming delay under %.0f%% elastic cross traffic "
+              "(40 gamers, rho_down = %.0f%%)\n\n",
+              100.0 * cross, 100.0 * downlink_load(base));
+  std::printf("%-22s %16s %16s %18s\n", "scheduler",
+              "up wait mean [ms]", "up wait p99 [ms]",
+              "down delay p99 [ms]");
+
+  const auto clean = run(GamingScenarioConfig::Scheduler::kFifo, 0.0);
+  auto report = [](const char* name, const GamingScenarioResult& r) {
+    std::printf("%-22s %16.3f %16.3f %18.3f\n", name,
+                r.upstream_wait.moments().mean() * 1e3,
+                r.upstream_wait.exact_quantile(0.99) * 1e3,
+                r.downstream_delay.exact_quantile(0.99) * 1e3);
+  };
+  report("(no cross traffic)", clean);
+  report("FIFO", run(GamingScenarioConfig::Scheduler::kFifo, cross));
+  report("HoL priority",
+         run(GamingScenarioConfig::Scheduler::kHolPriority, cross));
+  report("WFQ (50% share)",
+         run(GamingScenarioConfig::Scheduler::kWfq, cross));
+
+  std::printf(
+      "\nUpstream (smooth per-packet traffic): priority and WFQ keep the"
+      "\ngaming wait within a residual service time of the clean run"
+      "\n(<= one 1500 B elastic packet at C = %.1f ms) — the paper's"
+      "\njustification for analyzing the real-time queue in isolation."
+      "\nFIFO offers no such protection."
+      "\n"
+      "\nDownstream (bursty traffic): priority still isolates fully, but"
+      "\nWFQ only guarantees its configured *share* — a server burst"
+      "\ndrains at share*C while the elastic queue is busy, so the share"
+      "\nmust be provisioned for burst drain, not just for mean load"
+      "\n(cf. the paper's remark that under WFQ the actual capacity can"
+      "\nbe higher when other classes idle).\n",
+      8.0 * base.cross_packet_bytes / base.bottleneck_bps * 1e3);
+  return 0;
+}

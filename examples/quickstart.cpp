@@ -1,0 +1,57 @@
+// Quickstart: compute the 99.999% ping-time quantile for a DSL gaming
+// scenario and see where the milliseconds go.
+//
+//   $ ./quickstart [n_gamers]
+//
+// Models the paper's default setup: 128 kb/s uplinks, 1 Mb/s downlinks,
+// a 5 Mb/s gaming share on the aggregation trunk, 80 B client packets,
+// 125 B (mean) server packets per client, a 40 ms tick, and Erlang-9
+// burst sizes.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rtt_model.h"
+
+int main(int argc, char** argv) {
+  using namespace fpsq::core;
+
+  AccessScenario scenario;  // paper Section-4 defaults
+  scenario.erlang_k = 9;
+
+  double gamers = 60.0;
+  if (argc > 1) {
+    gamers = std::atof(argv[1]);
+    if (!(gamers > 0.0) || gamers >= scenario.max_stable_clients()) {
+      std::fprintf(stderr,
+                   "n_gamers must be in (0, %.0f) for this scenario\n",
+                   scenario.max_stable_clients());
+      return 1;
+    }
+  }
+
+  const RttModel model{scenario, gamers};
+  const auto b = model.breakdown_ms(1e-5);
+
+  std::printf("FPS ping model — %.0f gamers on a %.1f Mb/s gaming "
+              "share\n\n",
+              gamers, scenario.bottleneck_bps / 1e6);
+  std::printf("  downlink load                 %6.1f %%\n",
+              100.0 * model.rho_down());
+  std::printf("  uplink load                   %6.1f %%\n",
+              100.0 * model.rho_up());
+  std::printf("  mean RTT                      %6.2f ms\n",
+              model.rtt_mean_ms());
+  std::printf("  99.999%% RTT quantile          %6.2f ms\n\n",
+              b.total_ms);
+  std::printf("  breakdown (99.999%% quantiles of each part alone):\n");
+  std::printf("    serialization/propagation   %6.2f ms\n",
+              b.deterministic_ms);
+  std::printf("    upstream queueing (M/D/1)   %6.2f ms\n",
+              b.upstream_ms);
+  std::printf("    burst wait (D/E_K/1)        %6.2f ms\n", b.burst_ms);
+  std::printf("    position within burst       %6.2f ms\n",
+              b.position_ms);
+  std::printf("\n  verdict: %s for competitive play (50 ms bound)\n",
+              b.total_ms <= 50.0 ? "OK" : "NOT acceptable");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/dimensioning.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsq::core {
+
+DimensioningResult dimension_for_rtt(const AccessScenario& scenario,
+                                     double rtt_bound_ms, double epsilon,
+                                     CombinationMethod method,
+                                     double rho_tol) {
+  scenario.validate();
+  if (!(rtt_bound_ms > 0.0) || !(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("dimension_for_rtt: bad bound or epsilon");
+  }
+  if (scenario.deterministic_rtt_ms() >= rtt_bound_ms) {
+    // Even an unloaded network misses the bound.
+    return {0.0, 0.0, 0, scenario.deterministic_rtt_ms()};
+  }
+
+  auto rtt_at_load = [&](double rho) {
+    const double n = scenario.clients_for_downlink_load(rho);
+    const RttModel model{scenario, n};
+    return model.rtt_quantile_ms(epsilon, method);
+  };
+
+  // Stability ceiling: both directions must stay below load 1.
+  const double up_per_down =
+      scenario.client_packet_bytes / scenario.server_packet_bytes;
+  const double rho_ceil = std::min(1.0, 1.0 / up_per_down) - 1e-6;
+
+  double lo = 0.0;   // feasible
+  double hi = rho_ceil;
+  if (rtt_at_load(hi) <= rtt_bound_ms) {
+    // Bound never binds before instability.
+    const double n = scenario.clients_for_downlink_load(hi);
+    return {hi, n, static_cast<int>(std::floor(n)), rtt_at_load(hi)};
+  }
+  // Ensure a feasible toe-hold exists above zero.
+  double probe = std::min(0.01, 0.5 * rho_ceil);
+  while (probe > 1e-9 && rtt_at_load(probe) > rtt_bound_ms) {
+    probe *= 0.5;
+  }
+  if (probe <= 1e-9) {
+    return {0.0, 0.0, 0, scenario.deterministic_rtt_ms()};
+  }
+  lo = probe;
+  while (hi - lo > rho_tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (rtt_at_load(mid) <= rtt_bound_ms) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  DimensioningResult r;
+  r.rho_max = lo;
+  r.n_max = scenario.clients_for_downlink_load(lo);
+  r.n_max_int = static_cast<int>(std::floor(r.n_max + 1e-9));
+  r.rtt_at_max_ms = rtt_at_load(lo);
+  return r;
+}
+
+}  // namespace fpsq::core

@@ -1,0 +1,29 @@
+// Dimensioning (Section 4): given a quantile bound on the RTT, find the
+// largest tolerable load on the aggregation link and the corresponding
+// number of gamers N_max = rho_max C T / (8 P_S) (eq. 37).
+#pragma once
+
+#include "core/rtt_model.h"
+
+namespace fpsq::core {
+
+struct DimensioningResult {
+  double rho_max = 0.0;       ///< largest admissible downlink load
+  double n_max = 0.0;         ///< gamers at rho_max (eq. 37), fractional
+  int n_max_int = 0;          ///< floor(n_max)
+  double rtt_at_max_ms = 0.0; ///< RTT quantile at rho_max
+};
+
+/// Finds the largest downlink load whose epsilon-RTT-quantile stays below
+/// `rtt_bound_ms`. The RTT quantile is monotone in the load, so a
+/// bisection on rho in (0, rho_stability) suffices.
+///
+/// @param epsilon        tail probability (paper: 1e-5)
+/// @param rtt_bound_ms   e.g. 50 ms = "excellent game play" per [11]
+[[nodiscard]] DimensioningResult dimension_for_rtt(
+    const AccessScenario& scenario, double rtt_bound_ms,
+    double epsilon = 1e-5,
+    CombinationMethod method = CombinationMethod::kFullInversion,
+    double rho_tol = 1e-4);
+
+}  // namespace fpsq::core

@@ -1,0 +1,39 @@
+#include "core/mixed_population.h"
+
+#include <stdexcept>
+
+namespace fpsq::core {
+
+MixedUpstreamModel::MixedUpstreamModel(std::vector<GamerClass> classes,
+                                       double bottleneck_bps)
+    : classes_(std::move(classes)), bottleneck_bps_(bottleneck_bps) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("MixedUpstreamModel: no classes");
+  }
+  if (!(bottleneck_bps > 0.0)) {
+    throw std::invalid_argument("MixedUpstreamModel: capacity must be > 0");
+  }
+  std::vector<queueing::MG1DeterministicMix::ClassSpec> specs;
+  specs.reserve(classes_.size());
+  for (const auto& c : classes_) {
+    if (!(c.n_clients > 0.0) || !(c.packet_bytes > 0.0) ||
+        !(c.tick_ms > 0.0)) {
+      throw std::invalid_argument(
+          "MixedUpstreamModel: class parameters must be positive");
+    }
+    specs.push_back({c.n_clients / (c.tick_ms * 1e-3),
+                     8.0 * c.packet_bytes / bottleneck_bps});
+  }
+  mix_ = std::make_unique<queueing::MG1DeterministicMix>(std::move(specs));
+}
+
+queueing::ErlangMixMgf MixedUpstreamModel::mgf(bool paper_eq14) const {
+  return paper_eq14 ? mix_->paper_mgf() : mix_->asymptotic_mgf();
+}
+
+double MixedUpstreamModel::wait_quantile_ms(double epsilon,
+                                            bool paper_eq14) const {
+  return mgf(paper_eq14).quantile(epsilon) * 1e3;
+}
+
+}  // namespace fpsq::core

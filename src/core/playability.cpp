@@ -1,0 +1,67 @@
+#include "core/playability.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/dimensioning.h"
+
+namespace fpsq::core {
+
+Playability rate_rtt(double rtt_ms, const PlayabilityThresholds& t) {
+  if (!(rtt_ms >= 0.0)) {
+    throw std::invalid_argument("rate_rtt: rtt_ms must be >= 0");
+  }
+  if (rtt_ms <= t.excellent_ms) return Playability::kExcellent;
+  if (rtt_ms <= t.good_ms) return Playability::kGood;
+  if (rtt_ms <= t.acceptable_ms) return Playability::kAcceptable;
+  if (rtt_ms <= t.poor_ms) return Playability::kPoor;
+  return Playability::kUnplayable;
+}
+
+std::string to_string(Playability p) {
+  switch (p) {
+    case Playability::kExcellent:
+      return "excellent";
+    case Playability::kGood:
+      return "good";
+    case Playability::kAcceptable:
+      return "acceptable";
+    case Playability::kPoor:
+      return "poor";
+    case Playability::kUnplayable:
+      return "unplayable";
+  }
+  throw std::logic_error("to_string(Playability): unknown value");
+}
+
+double rtt_budget_ms(Playability p, const PlayabilityThresholds& t) {
+  switch (p) {
+    case Playability::kExcellent:
+      return t.excellent_ms;
+    case Playability::kGood:
+      return t.good_ms;
+    case Playability::kAcceptable:
+      return t.acceptable_ms;
+    case Playability::kPoor:
+      return t.poor_ms;
+    case Playability::kUnplayable:
+      throw std::invalid_argument("rtt_budget_ms: unplayable has no budget");
+  }
+  throw std::logic_error("rtt_budget_ms: unknown value");
+}
+
+std::vector<PlayabilityCapacity> capacity_by_rating(
+    const AccessScenario& scenario, double epsilon,
+    const PlayabilityThresholds& t) {
+  std::vector<PlayabilityCapacity> out;
+  for (Playability p :
+       {Playability::kExcellent, Playability::kGood,
+        Playability::kAcceptable, Playability::kPoor}) {
+    const auto d =
+        dimension_for_rtt(scenario, rtt_budget_ms(p, t), epsilon);
+    out.push_back({p, d.rho_max, d.n_max_int});
+  }
+  return out;
+}
+
+}  // namespace fpsq::core

@@ -1,0 +1,55 @@
+// Playability ratings: maps the computed ping-time quantile onto the
+// quality bands the gaming-QoE literature the paper leans on uses —
+// Färber's "excellent game play" at <= 50 ms [11], the ~100 ms threshold
+// most FPS studies quote [1, 2, 20], and the "few 100 ms" give-up point
+// hard-core players apply when picking servers (Section 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rtt_model.h"
+
+namespace fpsq::core {
+
+enum class Playability {
+  kExcellent,   ///< <= 50 ms: competitive play (Faerber [11])
+  kGood,        ///< <= 100 ms: no measurable skill degradation
+  kAcceptable,  ///< <= 150 ms: casual play
+  kPoor,        ///< <= 200 ms: noticeable lag
+  kUnplayable,  ///< > 200 ms: players disconnect
+};
+
+/// Band thresholds [ms], exposed for tooling.
+struct PlayabilityThresholds {
+  double excellent_ms = 50.0;
+  double good_ms = 100.0;
+  double acceptable_ms = 150.0;
+  double poor_ms = 200.0;
+};
+
+/// Classifies an RTT quantile [ms].
+[[nodiscard]] Playability rate_rtt(
+    double rtt_ms, const PlayabilityThresholds& t = PlayabilityThresholds{});
+
+[[nodiscard]] std::string to_string(Playability p);
+
+/// Maximum RTT [ms] still earning the given rating.
+[[nodiscard]] double rtt_budget_ms(
+    Playability p, const PlayabilityThresholds& t = PlayabilityThresholds{});
+
+/// One row of a capacity/quality table: how many gamers each rating
+/// admits on a scenario (via dimension_for_rtt at the band's budget).
+struct PlayabilityCapacity {
+  Playability rating = Playability::kExcellent;
+  double rho_max = 0.0;
+  int n_max = 0;
+};
+
+/// Full quality/capacity table for a scenario (epsilon-quantile bound per
+/// band; kUnplayable has no budget and is omitted).
+[[nodiscard]] std::vector<PlayabilityCapacity> capacity_by_rating(
+    const AccessScenario& scenario, double epsilon = 1e-5,
+    const PlayabilityThresholds& t = PlayabilityThresholds{});
+
+}  // namespace fpsq::core

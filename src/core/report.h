@@ -1,0 +1,24 @@
+// Scenario report: a one-call, human-readable assessment of a gaming
+// scenario — loads, RTT quantiles with breakdown, playability rating and
+// the capacity table — rendered as markdown. Drives `fpsq report`.
+#pragma once
+
+#include <string>
+
+#include "core/scenario.h"
+
+namespace fpsq::core {
+
+struct ReportOptions {
+  double n_clients = 60.0;  ///< population to assess
+  double epsilon = 1e-5;    ///< quantile tail probability
+  bool include_capacity_table = true;
+};
+
+/// Renders the full assessment as markdown.
+/// @throws std::invalid_argument on invalid scenario/options (including
+///         an unstable population)
+[[nodiscard]] std::string scenario_report_markdown(
+    const AccessScenario& scenario, const ReportOptions& options);
+
+}  // namespace fpsq::core

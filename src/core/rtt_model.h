@@ -1,0 +1,143 @@
+// The paper's RTT methodology (Section 3.3 + Section 4): combine the
+// upstream M/D/1 delay, the downstream D/E_K/1 burst delay and the
+// packet-position delay into one law, evaluate its tail, and add the
+// deterministic serialization/propagation component.
+//
+// Combination is mathematically the product of the three MGFs (eq. 35).
+// Numerically we combine the two simple-pole factors D_u(s) W(s) by exact
+// partial fractions (benign) and fold in the Erlang-mixture position
+// delay by a stable convolution integral — see queueing/convolution.h for
+// why the fully-expanded eq. (35) is avoided at large K.
+#pragma once
+
+#include <memory>
+
+#include "core/scenario.h"
+#include "queueing/dek1.h"
+#include "queueing/erlang_mix.h"
+#include "queueing/giek1.h"
+#include "queueing/mg1.h"
+#include "queueing/position_delay.h"
+
+namespace fpsq::core {
+
+/// How to turn the combined law into a quantile (the Section-3.3 menu).
+enum class CombinationMethod {
+  kFullInversion,   ///< exact combination (stable convolution evaluation)
+  kDominantPole,    ///< keep only the dominant pole of eq. (35)
+  kChernoff,        ///< bound of eq. (36)
+  kSumOfQuantiles,  ///< sum of the three individual quantiles
+};
+
+/// Which single-pole upstream approximation to use for eq. (14).
+enum class UpstreamVariant {
+  kPaperEq14,   ///< atom 1 - rho_u (as printed in the paper)
+  kAsymptotic,  ///< atom chosen to match the exact M/D/1 tail constant
+};
+
+class RttModel {
+ public:
+  /// @param scenario   network/traffic parameters (validated)
+  /// @param n_clients  number of gamers (may be fractional: the model is
+  ///                   parameterized by load; eq. 37 links the two)
+  /// @throws std::invalid_argument if either direction is unstable or
+  ///         K < 2 (the paper's combined model needs the uniform-position
+  ///         MGF of eq. 34, which requires K >= 2)
+  RttModel(const AccessScenario& scenario, double n_clients,
+           UpstreamVariant upstream = UpstreamVariant::kPaperEq14);
+
+  [[nodiscard]] const AccessScenario& scenario() const noexcept {
+    return scenario_;
+  }
+  [[nodiscard]] double n_clients() const noexcept { return n_; }
+  [[nodiscard]] double rho_up() const noexcept { return rho_up_; }
+  [[nodiscard]] double rho_down() const noexcept { return rho_down_; }
+
+  /// The three factors of eq. (35).
+  [[nodiscard]] const queueing::ErlangMixMgf& upstream_mgf() const noexcept {
+    return upstream_;
+  }
+  /// The paper's exact D/E_K/1 solver. Only available for deterministic
+  /// ticks (scenario.tick_jitter_cov == 0); with jitter the model runs on
+  /// the GI/E_K/1 generalization instead (see jittered_solver()).
+  /// @throws std::logic_error when ticks are jittered
+  [[nodiscard]] const queueing::DEk1Solver& downstream_solver() const;
+  /// The GI/E_K/1 solver backing a jittered-tick model.
+  /// @throws std::logic_error when ticks are deterministic
+  [[nodiscard]] const queueing::GiEk1Solver& jittered_solver() const;
+  /// The burst-wait MGF, whichever solver produced it.
+  [[nodiscard]] const queueing::ErlangMixMgf& burst_wait_mgf() const;
+  [[nodiscard]] const queueing::ErlangMixture& position_mixture()
+      const noexcept {
+    return *position_;
+  }
+
+  /// D_u(s) W(s): the combined simple-pole part (atom + exponential mix).
+  [[nodiscard]] const queueing::ErlangMixMgf& upstream_burst_mgf()
+      const noexcept {
+    return upw_;
+  }
+
+  /// Value of the full product MGF D_u(s) W(s) P(s), evaluated from the
+  /// factored form (cancellation-free).
+  [[nodiscard]] double total_mgf_value(double s) const;
+
+  /// Tail of the total stochastic delay [probability], x in seconds.
+  [[nodiscard]] double total_tail(double x_s) const;
+
+  /// Tail of the downstream stochastic delay W + P (no upstream), x [s].
+  [[nodiscard]] double downstream_tail(double x_s) const;
+
+  /// epsilon-quantile of the downstream stochastic delay [ms].
+  [[nodiscard]] double downstream_quantile_ms(double epsilon) const;
+
+  /// epsilon-quantile of the total stochastic delay [ms].
+  [[nodiscard]] double stochastic_quantile_ms(
+      double epsilon,
+      CombinationMethod method = CombinationMethod::kFullInversion) const;
+
+  /// epsilon-quantile of the full RTT [ms] — stochastic + deterministic.
+  /// The paper's Figures 3-4 plot this with epsilon = 1e-5.
+  [[nodiscard]] double rtt_quantile_ms(
+      double epsilon,
+      CombinationMethod method = CombinationMethod::kFullInversion) const;
+
+  /// Mean RTT [ms] (deterministic + mean stochastic delay).
+  [[nodiscard]] double rtt_mean_ms() const;
+
+  /// Per-component epsilon-quantiles [ms], for breakdown reporting.
+  struct Breakdown {
+    double deterministic_ms = 0.0;
+    double upstream_ms = 0.0;   ///< quantile of D_u alone
+    double burst_ms = 0.0;      ///< quantile of W alone
+    double position_ms = 0.0;   ///< quantile of P alone
+    double total_ms = 0.0;      ///< full RTT quantile (exact combination)
+  };
+  [[nodiscard]] Breakdown breakdown_ms(double epsilon) const;
+
+  /// True when the burst-wait factor W was numerically negligible
+  /// (P(W = 0) within 1e-12 of 1) and was dropped from the combination.
+  [[nodiscard]] bool burst_wait_dropped() const noexcept {
+    return burst_dropped_;
+  }
+
+ private:
+  AccessScenario scenario_;
+  double n_;
+  double rho_up_ = 0.0;
+  double rho_down_ = 0.0;
+  bool burst_dropped_ = false;
+  queueing::ErlangMixMgf upstream_;
+  std::unique_ptr<queueing::DEk1Solver> downstream_;   ///< det ticks only
+  std::unique_ptr<queueing::GiEk1Solver> jittered_;    ///< jittered ticks
+  std::unique_ptr<queueing::ErlangMixture> position_;
+  queueing::ErlangMixMgf upw_;  ///< D_u * W (or D_u alone if W dropped)
+
+  // Solver-agnostic views of the burst wait.
+  [[nodiscard]] double wait_p0() const;
+  [[nodiscard]] double wait_dominant_pole() const;
+  [[nodiscard]] queueing::Complex wait_first_weight() const;
+  [[nodiscard]] double wait_quantile(double epsilon) const;
+};
+
+}  // namespace fpsq::core

@@ -1,0 +1,51 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fpsq::core {
+
+double AccessScenario::downlink_load(double n_clients) const {
+  return 8.0 * n_clients * server_packet_bytes /
+         (tick_ms * 1e-3 * bottleneck_bps);
+}
+
+double AccessScenario::uplink_load(double n_clients) const {
+  return 8.0 * n_clients * client_packet_bytes /
+         (tick_ms * 1e-3 * bottleneck_bps);
+}
+
+double AccessScenario::clients_for_downlink_load(double rho) const {
+  return rho * tick_ms * 1e-3 * bottleneck_bps /
+         (8.0 * server_packet_bytes);
+}
+
+double AccessScenario::max_stable_clients() const {
+  const double by_down = tick_ms * 1e-3 * bottleneck_bps /
+                         (8.0 * server_packet_bytes);
+  const double by_up = tick_ms * 1e-3 * bottleneck_bps /
+                       (8.0 * client_packet_bytes);
+  return std::min(by_down, by_up);
+}
+
+double AccessScenario::deterministic_rtt_ms() const {
+  const double up_ser =
+      8.0 * client_packet_bytes * (1.0 / uplink_bps + 1.0 / bottleneck_bps);
+  const double down_ser =
+      8.0 * server_packet_bytes *
+      (1.0 / bottleneck_bps + 1.0 / downlink_bps);
+  return (up_ser + down_ser) * 1e3 + 2.0 * propagation_ms +
+         server_processing_ms;
+}
+
+void AccessScenario::validate() const {
+  if (!(client_packet_bytes > 0.0) || !(server_packet_bytes > 0.0) ||
+      !(tick_ms > 0.0) || !(uplink_bps > 0.0) || !(downlink_bps > 0.0) ||
+      !(bottleneck_bps > 0.0) || propagation_ms < 0.0 ||
+      server_processing_ms < 0.0 || erlang_k < 1 ||
+      tick_jitter_cov < 0.0) {
+    throw std::invalid_argument("AccessScenario: invalid parameters");
+  }
+}
+
+}  // namespace fpsq::core

@@ -1,0 +1,25 @@
+#include "dist/deterministic.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+double Deterministic::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("quantile: p must be in (0, 1)");
+  }
+  return value_;
+}
+
+std::string Deterministic::name() const {
+  std::ostringstream os;
+  os << "Det(" << value_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Deterministic::clone() const {
+  return std::make_unique<Deterministic>(*this);
+}
+
+}  // namespace fpsq::dist

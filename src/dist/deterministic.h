@@ -1,0 +1,34 @@
+// Point-mass distribution Det(v) — the paper's model for client packet
+// inter-arrival times and sizes (Tables 1-2).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Deterministic final : public Distribution {
+ public:
+  /// Point mass at `value`.
+  explicit Deterministic(double value) noexcept : value_(value) {}
+
+  [[nodiscard]] double pdf(double) const override { return 0.0; }
+  [[nodiscard]] double cdf(double x) const override {
+    return x >= value_ ? 1.0 : 0.0;
+  }
+  [[nodiscard]] double ccdf(double x) const override {
+    return x < value_ ? 1.0 : 0.0;
+  }
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return value_; }
+  [[nodiscard]] double variance() const override { return 0.0; }
+  [[nodiscard]] double sample(Rng&) const override { return value_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_;
+};
+
+}  // namespace fpsq::dist

@@ -1,0 +1,52 @@
+#include "dist/distribution.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+double Distribution::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("quantile: p must be in (0, 1)");
+  }
+  // Bracket the quantile around the mean with geometric expansion, then
+  // bisect. Works for any continuous cdf with connected support.
+  const double m = mean();
+  const double s = std::max(stddev(), std::max(std::abs(m), 1.0) * 1e-3);
+  double lo = m, hi = m;
+  double step = s;
+  for (int i = 0; i < 200 && cdf(lo) > p; ++i) {
+    lo -= step;
+    step *= 1.7;
+  }
+  step = s;
+  for (int i = 0; i < 200 && cdf(hi) < p; ++i) {
+    hi += step;
+    step *= 1.7;
+  }
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * (1.0 + std::abs(hi)); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Distribution::stddev() const { return std::sqrt(variance()); }
+
+double Distribution::cov() const {
+  const double m = mean();
+  if (m == 0.0) {
+    throw std::domain_error("cov: undefined for zero mean");
+  }
+  return stddev() / std::abs(m);
+}
+
+double Distribution::sample(Rng& rng) const {
+  return quantile(rng.uniform_pos());
+}
+
+}  // namespace fpsq::dist

@@ -1,0 +1,49 @@
+#include "dist/erlang.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/special.h"
+
+namespace fpsq::dist {
+
+Erlang::Erlang(int k, double rate) : k_(k), rate_(rate) {
+  if (k < 1 || !(rate > 0.0)) {
+    throw std::invalid_argument("Erlang: requires k >= 1 and rate > 0");
+  }
+}
+
+Erlang Erlang::from_mean(int k, double mean) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("Erlang::from_mean: requires mean > 0");
+  }
+  return Erlang{k, static_cast<double>(k) / mean};
+}
+
+double Erlang::pdf(double x) const { return math::erlang_pdf(k_, rate_, x); }
+
+double Erlang::cdf(double x) const { return math::erlang_cdf(k_, rate_, x); }
+
+double Erlang::ccdf(double x) const { return math::erlang_ccdf(k_, rate_, x); }
+
+double Erlang::sample(Rng& rng) const {
+  // Product of k uniforms, one log: X = -log(prod u_i) / rate.
+  double prod = 1.0;
+  for (int i = 0; i < k_; ++i) {
+    prod *= rng.uniform_pos();
+  }
+  return -std::log(prod) / rate_;
+}
+
+std::string Erlang::name() const {
+  std::ostringstream os;
+  os << "Erlang(" << k_ << ", " << rate_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Erlang::clone() const {
+  return std::make_unique<Erlang>(*this);
+}
+
+}  // namespace fpsq::dist

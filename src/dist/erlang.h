@@ -1,0 +1,40 @@
+// Erlang(K, rate) distribution — the paper's model for the server burst
+// size (Section 2.3.2, Figure 1). Mean K/rate, variance K/rate^2,
+// CoV 1/sqrt(K).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Erlang final : public Distribution {
+ public:
+  /// Erlang with integer shape k >= 1 and rate > 0.
+  Erlang(int k, double rate);
+
+  /// Erlang with the given mean and shape (rate = k / mean).
+  [[nodiscard]] static Erlang from_mean(int k, double mean);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double mean() const override {
+    return static_cast<double>(k_) / rate_;
+  }
+  [[nodiscard]] double variance() const override {
+    return static_cast<double>(k_) / (rate_ * rate_);
+  }
+  /// Sum of k exponentials — exact and fast.
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  int k_;
+  double rate_;
+};
+
+}  // namespace fpsq::dist

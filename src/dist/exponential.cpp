@@ -1,0 +1,46 @@
+#include "dist/exponential.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("Exponential: requires rate > 0");
+  }
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : -std::expm1(-rate_ * x);
+}
+
+double Exponential::ccdf(double x) const {
+  return x <= 0.0 ? 1.0 : std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("quantile: p must be in (0, 1)");
+  }
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+std::string Exponential::name() const {
+  std::ostringstream os;
+  os << "Exp(" << rate_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+}  // namespace fpsq::dist

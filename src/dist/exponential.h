@@ -1,0 +1,32 @@
+// Exponential distribution. Building block for Erlang and the Poisson
+// arrival processes of the upstream M/G/1 model (Section 3.1).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Exponential final : public Distribution {
+ public:
+  /// Exponential with given rate (> 0); mean = 1/rate.
+  explicit Exponential(double rate);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return 1.0 / rate_; }
+  [[nodiscard]] double variance() const override {
+    return 1.0 / (rate_ * rate_);
+  }
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace fpsq::dist

@@ -1,0 +1,67 @@
+#include "dist/extreme.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+namespace {
+constexpr double kEulerGamma = 0.5772156649015328606;
+}
+
+Extreme::Extreme(double a, double b) : a_(a), b_(b) {
+  if (!(b > 0.0)) {
+    throw std::invalid_argument("Extreme: requires b > 0");
+  }
+}
+
+Extreme Extreme::from_mean_stddev(double mean, double stddev) {
+  if (!(stddev > 0.0)) {
+    throw std::invalid_argument("Extreme::from_mean_stddev: stddev > 0");
+  }
+  const double b = stddev * std::sqrt(6.0) / M_PI;
+  return Extreme{mean - kEulerGamma * b, b};
+}
+
+double Extreme::pdf(double x) const {
+  const double z = (x - a_) / b_;
+  return std::exp(-z - std::exp(-z)) / b_;
+}
+
+double Extreme::cdf(double x) const {
+  return std::exp(-std::exp(-(x - a_) / b_));
+}
+
+double Extreme::ccdf(double x) const {
+  return -std::expm1(-std::exp(-(x - a_) / b_));
+}
+
+double Extreme::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("quantile: p must be in (0, 1)");
+  }
+  return a_ - b_ * std::log(-std::log(p));
+}
+
+double Extreme::mean() const { return a_ + kEulerGamma * b_; }
+
+double Extreme::variance() const {
+  return M_PI * M_PI * b_ * b_ / 6.0;
+}
+
+double Extreme::sample(Rng& rng) const {
+  return a_ - b_ * std::log(-std::log(rng.uniform_pos()));
+}
+
+std::string Extreme::name() const {
+  std::ostringstream os;
+  os << "Ext(" << a_ << ", " << b_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Extreme::clone() const {
+  return std::make_unique<Extreme>(*this);
+}
+
+}  // namespace fpsq::dist

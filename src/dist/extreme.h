@@ -1,0 +1,36 @@
+// Extreme-value (Gumbel) distribution Ext(a, b) as used by Färber for
+// Counter-Strike packet sizes and burst inter-arrival times (paper eq. 1):
+//   f(x) = (1/b) exp(-(x-a)/b) exp(-exp(-(x-a)/b)),
+//   F(x) = exp(-exp(-(x-a)/b)).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Extreme final : public Distribution {
+ public:
+  /// Gumbel with location a and scale b > 0.
+  Extreme(double a, double b);
+
+  /// Moment-matched Gumbel: mean = a + gamma_E * b, stddev = pi*b/sqrt(6).
+  [[nodiscard]] static Extreme from_mean_stddev(double mean, double stddev);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double a() const noexcept { return a_; }
+  [[nodiscard]] double b() const noexcept { return b_; }
+
+ private:
+  double a_, b_;
+};
+
+}  // namespace fpsq::dist

@@ -1,0 +1,33 @@
+// Gamma distribution with real shape — generalizes Erlang for fitting
+// burst sizes when the moment-matched shape is not an integer.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Gamma final : public Distribution {
+ public:
+  /// Gamma with shape > 0 and rate > 0; mean = shape/rate.
+  Gamma(double shape, double rate);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double mean() const override { return shape_ / rate_; }
+  [[nodiscard]] double variance() const override {
+    return shape_ / (rate_ * rate_);
+  }
+  /// Marsaglia–Tsang squeeze method (with boost for shape < 1).
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double shape_, rate_;
+};
+
+}  // namespace fpsq::dist

@@ -1,0 +1,70 @@
+#include "dist/lognormal.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dist/normal.h"
+
+namespace fpsq::dist {
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) {
+    throw std::invalid_argument("Lognormal: requires sigma > 0");
+  }
+}
+
+Lognormal Lognormal::from_mean_cov(double mean, double cov) {
+  if (!(mean > 0.0) || !(cov > 0.0)) {
+    throw std::invalid_argument(
+        "Lognormal::from_mean_cov: requires mean > 0 and cov > 0");
+  }
+  const double sigma2 = std::log1p(cov * cov);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return Lognormal{mu, std::sqrt(sigma2)};
+}
+
+double Lognormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double Lognormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return std_normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double Lognormal::ccdf(double x) const {
+  if (x <= 0.0) return 1.0;
+  return 0.5 * std::erfc((std::log(x) - mu_) / sigma_ * M_SQRT1_2);
+}
+
+double Lognormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * std_normal_quantile(p));
+}
+
+double Lognormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double Lognormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return std::expm1(s2) * std::exp(2.0 * mu_ + s2);
+}
+
+double Lognormal::sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+std::string Lognormal::name() const {
+  std::ostringstream os;
+  os << "LogN(" << mu_ << ", " << sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Lognormal::clone() const {
+  return std::make_unique<Lognormal>(*this);
+}
+
+}  // namespace fpsq::dist

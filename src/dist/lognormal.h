@@ -1,0 +1,35 @@
+// Lognormal distribution; Lang et al. model Half-Life server packet sizes
+// as (map-dependent) lognormals (Table 2), and Färber notes shifted
+// lognormal fits Counter-Strike sizes acceptably.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Lognormal final : public Distribution {
+ public:
+  /// log X ~ N(mu, sigma^2), sigma > 0.
+  Lognormal(double mu, double sigma);
+
+  /// Builds the lognormal with the given linear-scale mean and CoV.
+  [[nodiscard]] static Lognormal from_mean_cov(double mean, double cov);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+};
+
+}  // namespace fpsq::dist

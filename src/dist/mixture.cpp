@@ -1,0 +1,89 @@
+#include "dist/mixture.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+Mixture::Mixture(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("Mixture: needs at least one component");
+  }
+  double total = 0.0;
+  for (const auto& c : components_) {
+    if (!c.law) {
+      throw std::invalid_argument("Mixture: null component law");
+    }
+    if (!(c.weight > 0.0)) {
+      throw std::invalid_argument("Mixture: weights must be positive");
+    }
+    total += c.weight;
+  }
+  for (auto& c : components_) {
+    c.weight /= total;
+  }
+}
+
+double Mixture::pdf(double x) const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.law->pdf(x);
+  return acc;
+}
+
+double Mixture::cdf(double x) const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.law->cdf(x);
+  return acc;
+}
+
+double Mixture::ccdf(double x) const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.law->ccdf(x);
+  return acc;
+}
+
+double Mixture::mean() const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.law->mean();
+  return acc;
+}
+
+double Mixture::variance() const {
+  // E[X^2] - (E X)^2 with E[X^2] accumulated per component.
+  const double m = mean();
+  double ex2 = 0.0;
+  for (const auto& c : components_) {
+    const double cm = c.law->mean();
+    ex2 += c.weight * (c.law->variance() + cm * cm);
+  }
+  return ex2 - m * m;
+}
+
+double Mixture::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  for (const auto& c : components_) {
+    if (u < c.weight) {
+      return c.law->sample(rng);
+    }
+    u -= c.weight;
+  }
+  return components_.back().law->sample(rng);
+}
+
+std::string Mixture::name() const {
+  std::ostringstream os;
+  os << "Mix(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) os << " + ";
+    os << components_[i].weight << "*" << components_[i].law->name();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Mixture::clone() const {
+  return std::make_unique<Mixture>(components_);
+}
+
+}  // namespace fpsq::dist

@@ -1,0 +1,40 @@
+// Finite mixture distribution. Used to synthesize burst-size laws whose
+// central moments and tail behave differently — exactly the tension the
+// paper reports between the CoV-based Erlang fit (K = 28) and the
+// tail-based fit (K between 15 and 20) in Section 2.3.2 / Figure 1.
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Mixture final : public Distribution {
+ public:
+  struct Component {
+    double weight = 0.0;
+    DistributionPtr law;
+  };
+
+  /// Weights must be positive; they are normalized to sum to 1.
+  explicit Mixture(std::vector<Component> components);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] const std::vector<Component>& components() const noexcept {
+    return components_;
+  }
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace fpsq::dist

@@ -1,0 +1,89 @@
+#include "dist/normal.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+double std_normal_cdf(double x) {
+  return 0.5 * std::erfc(-x * M_SQRT1_2);
+}
+
+double std_normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("std_normal_quantile: p must be in (0, 1)");
+  }
+  // Acklam's algorithm.
+  static constexpr double a[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                  -2.759285104469687e+02, 1.383577518672690e+02,
+                                  -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                  -1.556989798598866e+02, 6.680131188771972e+01,
+                                  -1.328068155288572e+01};
+  static constexpr double c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                  -2.400758277161838e+00, -2.549732539343734e+00,
+                                  4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                  2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley polish step for near-machine precision.
+  const double e = std_normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) {
+    throw std::invalid_argument("Normal: requires sigma > 0");
+  }
+}
+
+double Normal::pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double Normal::cdf(double x) const {
+  return std_normal_cdf((x - mu_) / sigma_);
+}
+
+double Normal::ccdf(double x) const {
+  return 0.5 * std::erfc((x - mu_) / sigma_ * M_SQRT1_2);
+}
+
+double Normal::quantile(double p) const {
+  return mu_ + sigma_ * std_normal_quantile(p);
+}
+
+double Normal::sample(Rng& rng) const { return mu_ + sigma_ * rng.normal(); }
+
+std::string Normal::name() const {
+  std::ostringstream os;
+  os << "N(" << mu_ << ", " << sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Normal::clone() const {
+  return std::make_unique<Normal>(*this);
+}
+
+}  // namespace fpsq::dist

@@ -1,0 +1,38 @@
+// Normal distribution; Lang et al. fit client packet sizes with (log-)
+// normal laws (Table 2).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+/// Standard-normal cdf Phi(x).
+[[nodiscard]] double std_normal_cdf(double x);
+
+/// Standard-normal quantile (Acklam's rational approximation + one Newton
+/// polish step); |error| < 1e-14 over (1e-300, 1 - 1e-16).
+[[nodiscard]] double std_normal_quantile(double p);
+
+class Normal final : public Distribution {
+ public:
+  /// Normal with mean mu and stddev sigma > 0.
+  Normal(double mu, double sigma);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return mu_; }
+  [[nodiscard]] double variance() const override { return sigma_ * sigma_; }
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+};
+
+}  // namespace fpsq::dist

@@ -1,0 +1,75 @@
+#include "dist/pareto.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+Pareto::Pareto(double alpha, double x_min) : alpha_(alpha), x_min_(x_min) {
+  if (!(alpha > 0.0) || !(x_min > 0.0)) {
+    throw std::invalid_argument("Pareto: requires alpha > 0 and x_min > 0");
+  }
+}
+
+Pareto Pareto::from_mean(double alpha, double mean) {
+  if (!(alpha > 1.0) || !(mean > 0.0)) {
+    throw std::invalid_argument(
+        "Pareto::from_mean: requires alpha > 1 and mean > 0");
+  }
+  return Pareto{alpha, mean * (alpha - 1.0) / alpha};
+}
+
+double Pareto::pdf(double x) const {
+  if (x < x_min_) return 0.0;
+  return alpha_ * std::pow(x_min_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= x_min_) return 0.0;
+  return 1.0 - std::pow(x_min_ / x, alpha_);
+}
+
+double Pareto::ccdf(double x) const {
+  if (x <= x_min_) return 1.0;
+  return std::pow(x_min_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("quantile: p must be in (0, 1)");
+  }
+  return x_min_ * std::pow(1.0 - p, -1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return alpha_ * x_min_ / (alpha_ - 1.0);
+}
+
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double a = alpha_;
+  return x_min_ * x_min_ * a / ((a - 1.0) * (a - 1.0) * (a - 2.0));
+}
+
+double Pareto::sample(Rng& rng) const {
+  return x_min_ * std::pow(rng.uniform_pos(), -1.0 / alpha_);
+}
+
+std::string Pareto::name() const {
+  std::ostringstream os;
+  os << "Pareto(" << alpha_ << ", " << x_min_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Pareto::clone() const {
+  return std::make_unique<Pareto>(*this);
+}
+
+}  // namespace fpsq::dist

@@ -1,0 +1,37 @@
+// Pareto (type I) distribution — heavy-tailed file/flow sizes for the
+// elastic cross traffic that shares the bottleneck with gaming (the
+// TCP-controlled "data" class of Section 1 is classically heavy-tailed).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Pareto final : public Distribution {
+ public:
+  /// P(X > x) = (x_min/x)^alpha for x >= x_min; alpha > 0, x_min > 0.
+  Pareto(double alpha, double x_min);
+
+  /// Pareto with the given mean and tail index alpha > 1.
+  [[nodiscard]] static Pareto from_mean(double alpha, double mean);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  /// Infinite for alpha <= 1.
+  [[nodiscard]] double mean() const override;
+  /// Infinite for alpha <= 2.
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double x_min() const noexcept { return x_min_; }
+
+ private:
+  double alpha_, x_min_;
+};
+
+}  // namespace fpsq::dist

@@ -1,0 +1,48 @@
+// Deterministic, seedable random number generator (xoshiro256++) so that
+// experiments and tests are reproducible across platforms and standard
+// library implementations (std::mt19937 is portable, but the std
+// distributions are not; we implement all samplers ourselves).
+#pragma once
+
+#include <cstdint>
+
+namespace fpsq::dist {
+
+/// xoshiro256++ by Blackman & Vigna, seeded through splitmix64.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x02468ace13579bdfULL) noexcept;
+
+  /// Next raw 64-bit output.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1): 53 high bits of next_u64.
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in (0, 1): never returns exactly 0 (safe for logs).
+  [[nodiscard]] double uniform_pos() noexcept;
+
+  /// Uniform double in [a, b).
+  [[nodiscard]] double uniform(double a, double b) noexcept;
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Standard normal variate (polar Marsaglia method, cached pair).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Exponential variate with given rate (> 0).
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+  /// Jump-equivalent: returns an independently-seeded child generator,
+  /// convenient for giving each simulation entity its own stream.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace fpsq::dist

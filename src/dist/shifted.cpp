@@ -1,0 +1,43 @@
+#include "dist/shifted.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+Shifted::Shifted(DistributionPtr base, double offset)
+    : base_(std::move(base)), offset_(offset) {
+  if (!base_) {
+    throw std::invalid_argument("Shifted: base distribution is null");
+  }
+}
+
+double Shifted::pdf(double x) const { return base_->pdf(x - offset_); }
+
+double Shifted::cdf(double x) const { return base_->cdf(x - offset_); }
+
+double Shifted::ccdf(double x) const { return base_->ccdf(x - offset_); }
+
+double Shifted::quantile(double p) const {
+  return base_->quantile(p) + offset_;
+}
+
+double Shifted::mean() const { return base_->mean() + offset_; }
+
+double Shifted::variance() const { return base_->variance(); }
+
+double Shifted::sample(Rng& rng) const {
+  return base_->sample(rng) + offset_;
+}
+
+std::string Shifted::name() const {
+  std::ostringstream os;
+  os << base_->name() << " + " << offset_;
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Shifted::clone() const {
+  return std::make_unique<Shifted>(base_, offset_);
+}
+
+}  // namespace fpsq::dist

@@ -1,0 +1,33 @@
+// Shift (location) wrapper: X + offset. Färber reports that *shifted*
+// lognormal and Weibull laws also fit Counter-Strike traffic; packet sizes
+// have natural minimum offsets (headers).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Shifted final : public Distribution {
+ public:
+  /// Distribution of X + offset where X ~ base.
+  Shifted(DistributionPtr base, double offset);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double offset() const noexcept { return offset_; }
+  [[nodiscard]] const Distribution& base() const noexcept { return *base_; }
+
+ private:
+  DistributionPtr base_;
+  double offset_;
+};
+
+}  // namespace fpsq::dist

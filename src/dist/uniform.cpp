@@ -1,0 +1,49 @@
+#include "dist/uniform.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::dist {
+
+Uniform::Uniform(double a, double b) : a_(a), b_(b) {
+  if (!(a < b)) {
+    throw std::invalid_argument("Uniform: requires a < b");
+  }
+}
+
+double Uniform::pdf(double x) const {
+  return (x >= a_ && x <= b_) ? 1.0 / (b_ - a_) : 0.0;
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= a_) return 0.0;
+  if (x >= b_) return 1.0;
+  return (x - a_) / (b_ - a_);
+}
+
+double Uniform::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("quantile: p must be in (0, 1)");
+  }
+  return a_ + p * (b_ - a_);
+}
+
+double Uniform::variance() const {
+  const double w = b_ - a_;
+  return w * w / 12.0;
+}
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(a_, b_); }
+
+std::string Uniform::name() const {
+  std::ostringstream os;
+  os << "U(" << a_ << ", " << b_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Uniform::clone() const {
+  return std::make_unique<Uniform>(*this);
+}
+
+}  // namespace fpsq::dist

@@ -1,0 +1,30 @@
+// Continuous uniform distribution on [a, b]. Used for random phasing of
+// periodic client sources and for the packet-position law of Section 3.2.2.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Uniform final : public Distribution {
+ public:
+  /// Uniform on [a, b], a < b.
+  Uniform(double a, double b);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (a_ + b_); }
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double a() const noexcept { return a_; }
+  [[nodiscard]] double b() const noexcept { return b_; }
+
+ private:
+  double a_, b_;
+};
+
+}  // namespace fpsq::dist

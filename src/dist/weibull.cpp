@@ -1,0 +1,86 @@
+#include "dist/weibull.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/roots.h"
+#include "math/special.h"
+
+namespace fpsq::dist {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("Weibull: requires shape > 0 and scale > 0");
+  }
+}
+
+Weibull Weibull::from_mean_cov(double mean, double cov) {
+  if (!(mean > 0.0) || !(cov > 0.0)) {
+    throw std::invalid_argument("Weibull::from_mean_cov: mean, cov > 0");
+  }
+  // CoV is monotone decreasing in the shape k; solve on a wide bracket.
+  auto cov_of_shape = [](double k) {
+    const double g1 = std::exp(math::log_gamma(1.0 + 1.0 / k));
+    const double g2 = std::exp(math::log_gamma(1.0 + 2.0 / k));
+    return std::sqrt(g2 / (g1 * g1) - 1.0);
+  };
+  const auto r = math::brent(
+      [&](double k) { return cov_of_shape(k) - cov; }, 0.05, 200.0, 1e-12);
+  const double k = r.root;
+  const double scale = mean / std::exp(math::log_gamma(1.0 + 1.0 / k));
+  return Weibull{k, scale};
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    return shape_ == 1.0 ? 1.0 / scale_ : 0.0;
+  }
+  const double z = x / scale_;
+  return shape_ / scale_ * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::ccdf(double x) const {
+  return x <= 0.0 ? 1.0 : std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("quantile: p must be in (0, 1)");
+  }
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::exp(math::log_gamma(1.0 + 1.0 / shape_));
+}
+
+double Weibull::variance() const {
+  const double g1 = std::exp(math::log_gamma(1.0 + 1.0 / shape_));
+  const double g2 = std::exp(math::log_gamma(1.0 + 2.0 / shape_));
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double Weibull::sample(Rng& rng) const {
+  return scale_ * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape_);
+}
+
+std::string Weibull::name() const {
+  std::ostringstream os;
+  os << "Weibull(" << shape_ << ", " << scale_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Weibull::clone() const {
+  return std::make_unique<Weibull>(*this);
+}
+
+}  // namespace fpsq::dist

@@ -1,0 +1,36 @@
+// Weibull distribution; Färber mentions shifted Weibull as an acceptable
+// alternative fit for Counter-Strike traffic.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace fpsq::dist {
+
+class Weibull final : public Distribution {
+ public:
+  /// Weibull with shape k > 0 and scale lambda > 0:
+  /// F(x) = 1 - exp(-(x/lambda)^k).
+  Weibull(double shape, double scale);
+
+  /// Moment-matched Weibull for the given mean and CoV (solves for the
+  /// shape from CoV^2 = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1).
+  [[nodiscard]] static Weibull from_mean_cov(double mean, double cov);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double shape_, scale_;
+};
+
+}  // namespace fpsq::dist

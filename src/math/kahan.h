@@ -1,0 +1,38 @@
+// Compensated (Neumaier) summation for long tail sums in the queueing
+// inversion code, where terms of alternating sign and widely varying
+// magnitude would otherwise lose precision.
+#pragma once
+
+namespace fpsq::math {
+
+/// Neumaier variant of Kahan summation: also compensates when the running
+/// sum is smaller than the incoming term.
+class KahanSum {
+ public:
+  constexpr KahanSum() = default;
+
+  constexpr void add(double x) noexcept {
+    const double t = sum_ + x;
+    if ((sum_ >= 0 ? sum_ : -sum_) >= (x >= 0 ? x : -x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept {
+    return sum_ + comp_;
+  }
+
+  constexpr void reset() noexcept {
+    sum_ = 0.0;
+    comp_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace fpsq::math

@@ -1,0 +1,40 @@
+// One-dimensional minimization, used for the `inf`/`sup` programs in the
+// Chernoff / large-deviations estimates of Section 3.1 (eqs. 8, 10, 12, 36).
+#pragma once
+
+#include <functional>
+
+namespace fpsq::math {
+
+/// Result of a 1-D minimization.
+struct MinResult {
+  double x = 0.0;       ///< argmin
+  double value = 0.0;   ///< f(argmin)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Golden-section search on a unimodal function over [a, b].
+[[nodiscard]] MinResult golden_section(const std::function<double(double)>& f,
+                                       double a, double b,
+                                       double x_tol = 1e-10,
+                                       int max_iter = 200);
+
+/// Minimizes f over (a, inf): scans geometrically-spaced probes from
+/// `a + initial_step` until the sampled values start increasing, then
+/// refines with golden-section around the best probe. Intended for smooth
+/// quasi-convex objectives such as the Chernoff exponent in `t`.
+[[nodiscard]] MinResult minimize_scan(const std::function<double(double)>& f,
+                                      double a, double initial_step,
+                                      double growth = 1.3,
+                                      int max_probes = 400,
+                                      double x_tol = 1e-10);
+
+/// Maximizes f over (a, inf) via minimize_scan on -f.
+[[nodiscard]] MinResult maximize_scan(const std::function<double(double)>& f,
+                                      double a, double initial_step,
+                                      double growth = 1.3,
+                                      int max_probes = 400,
+                                      double x_tol = 1e-10);
+
+}  // namespace fpsq::math

@@ -1,0 +1,113 @@
+#include "math/polynomial_roots.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsq::math {
+
+namespace {
+using Cx = std::complex<double>;
+}
+
+Poly poly_mul(const Poly& a, const Poly& b) {
+  if (a.empty() || b.empty()) return {};
+  Poly out(a.size() + b.size() - 1, Cx{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+Poly poly_add(const Poly& a, const Poly& b) {
+  Poly out(std::max(a.size(), b.size()), Cx{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] += a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+Poly poly_scale(const Poly& a, Cx k) {
+  Poly out = a;
+  for (auto& c : out) c *= k;
+  return out;
+}
+
+Cx poly_eval(const Poly& p, Cx z) {
+  Cx acc{0.0, 0.0};
+  for (std::size_t i = p.size(); i-- > 0;) {
+    acc = acc * z + p[i];
+  }
+  return acc;
+}
+
+Poly poly_derivative(const Poly& p) {
+  if (p.size() <= 1) return {Cx{0.0, 0.0}};
+  Poly out(p.size() - 1);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    out[i - 1] = p[i] * static_cast<double>(i);
+  }
+  return out;
+}
+
+Poly poly_trim(Poly p, double tol) {
+  while (p.size() > 1 && std::abs(p.back()) <= tol) {
+    p.pop_back();
+  }
+  return p;
+}
+
+std::vector<Cx> durand_kerner(const Poly& p_in, double tol, int max_iter) {
+  const Poly p = poly_trim(p_in, 0.0);
+  if (p.size() < 2) {
+    throw std::invalid_argument("durand_kerner: degree must be >= 1");
+  }
+  const std::size_t n = p.size() - 1;
+  // Monic normalization.
+  Poly monic = poly_scale(p, Cx{1.0, 0.0} / p.back());
+  // Cauchy-style radius bound: 1 + max |c_i|.
+  double radius = 0.0;
+  for (std::size_t i = 0; i + 1 < monic.size(); ++i) {
+    radius = std::max(radius, std::abs(monic[i]));
+  }
+  radius = 1.0 + radius;
+  // Initial guesses on a spiral inside the root bound (the classic
+  // (0.4 + 0.9i)^k seed, rescaled).
+  std::vector<Cx> z(n);
+  const Cx seed{0.4, 0.9};
+  Cx power{1.0, 0.0};
+  for (std::size_t k = 0; k < n; ++k) {
+    power *= seed;
+    z[k] = power * (radius / std::abs(power)) * 0.7;
+  }
+  double move = 0.0;
+  for (int it = 0; it < max_iter; ++it) {
+    move = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      Cx denom{1.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == k) continue;
+        denom *= z[k] - z[j];
+      }
+      if (std::abs(denom) == 0.0) {
+        // Coinciding iterates: nudge apart.
+        z[k] += Cx{1e-8 * radius, 1e-8 * radius};
+        move = radius;
+        continue;
+      }
+      const Cx delta = poly_eval(monic, z[k]) / denom;
+      z[k] -= delta;
+      move = std::max(move, std::abs(delta));
+    }
+    if (move < tol) {
+      return z;
+    }
+  }
+  if (move > 1e-8 * radius) {
+    throw std::runtime_error("durand_kerner: iteration did not converge");
+  }
+  return z;
+}
+
+}  // namespace fpsq::math

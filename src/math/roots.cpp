@@ -1,0 +1,196 @@
+#include "math/roots.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fpsq::math {
+
+namespace {
+bool opposite_signs(double fa, double fb) {
+  return (fa <= 0.0 && fb >= 0.0) || (fa >= 0.0 && fb <= 0.0);
+}
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double a, double b,
+                  double x_tol, int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (!opposite_signs(fa, fb)) {
+    throw BracketError("bisect: bracket does not change sign");
+  }
+  RootResult r;
+  if (fa == 0.0) {
+    r = {a, 0.0, 0, true};
+    return r;
+  }
+  if (fb == 0.0) {
+    r = {b, 0.0, 0, true};
+    return r;
+  }
+  for (int i = 0; i < max_iter; ++i) {
+    const double m = 0.5 * (a + b);
+    const double fm = f(m);
+    r.iterations = i + 1;
+    if (fm == 0.0 || 0.5 * (b - a) < x_tol) {
+      r.root = m;
+      r.value = fm;
+      r.converged = true;
+      return r;
+    }
+    if (opposite_signs(fa, fm)) {
+      b = m;
+      fb = fm;
+    } else {
+      a = m;
+      fa = fm;
+    }
+  }
+  r.root = 0.5 * (a + b);
+  r.value = f(r.root);
+  r.converged = std::abs(b - a) < 2 * x_tol;
+  return r;
+}
+
+RootResult brent(const std::function<double(double)>& f, double a, double b,
+                 double x_tol, int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (!opposite_signs(fa, fb)) {
+    throw BracketError("brent: bracket does not change sign");
+  }
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  double d = b - a;  // previous-previous step, for the bisection guard
+  bool mflag = true;
+  RootResult r;
+  for (int i = 0; i < max_iter; ++i) {
+    r.iterations = i + 1;
+    if (fb == 0.0 || std::abs(b - a) < x_tol) {
+      r.root = b;
+      r.value = fb;
+      r.converged = true;
+      return r;
+    }
+    double s;
+    if (fa != fc && fb != fc) {
+      // inverse quadratic interpolation
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // secant
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double lo = std::min(b, 0.25 * (3.0 * a + b));
+    const double hi = std::max(b, 0.25 * (3.0 * a + b));
+    const bool cond1 = s < lo || s > hi;
+    const bool cond2 = mflag && std::abs(s - b) >= 0.5 * std::abs(b - c);
+    const bool cond3 = !mflag && std::abs(s - b) >= 0.5 * std::abs(c - d);
+    const bool cond4 = mflag && std::abs(b - c) < x_tol;
+    const bool cond5 = !mflag && std::abs(c - d) < x_tol;
+    if (cond1 || cond2 || cond3 || cond4 || cond5) {
+      s = 0.5 * (a + b);
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (opposite_signs(fa, fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  r.root = b;
+  r.value = fb;
+  r.converged = false;
+  return r;
+}
+
+RootResult find_root_expanding(const std::function<double(double)>& f,
+                               double a, double initial_step, double x_tol,
+                               int max_expand, double growth) {
+  if (initial_step <= 0.0 || growth <= 1.0) {
+    throw std::invalid_argument(
+        "find_root_expanding: step must be > 0, growth > 1");
+  }
+  const double fa = f(a);
+  double step = initial_step;
+  double lo = a;
+  double flo = fa;
+  for (int i = 0; i < max_expand; ++i) {
+    const double hi = lo + step;
+    const double fhi = f(hi);
+    if (opposite_signs(flo, fhi)) {
+      return brent(f, lo, hi, x_tol);
+    }
+    lo = hi;
+    flo = fhi;
+    step *= growth;
+  }
+  throw BracketError("find_root_expanding: no sign change found");
+}
+
+RootResult newton_safe(const std::function<double(double)>& f,
+                       const std::function<double(double)>& df, double a,
+                       double b, double x0, double x_tol, int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (!opposite_signs(fa, fb)) {
+    throw BracketError("newton_safe: bracket does not change sign");
+  }
+  double x = std::clamp(x0, a, b);
+  RootResult r;
+  for (int i = 0; i < max_iter; ++i) {
+    r.iterations = i + 1;
+    const double fx = f(x);
+    if (fx == 0.0) {
+      r = {x, 0.0, i + 1, true};
+      return r;
+    }
+    // Shrink the bracket around the sign change.
+    if (opposite_signs(fa, fx)) {
+      b = x;
+      fb = fx;
+    } else {
+      a = x;
+      fa = fx;
+    }
+    const double dfx = df(x);
+    double x_next;
+    if (dfx != 0.0) {
+      x_next = x - fx / dfx;
+      if (x_next <= a || x_next >= b) {
+        x_next = 0.5 * (a + b);  // Newton escaped the bracket: bisect
+      }
+    } else {
+      x_next = 0.5 * (a + b);
+    }
+    if (std::abs(x_next - x) < x_tol) {
+      r.root = x_next;
+      r.value = f(x_next);
+      r.converged = true;
+      return r;
+    }
+    x = x_next;
+  }
+  r.root = x;
+  r.value = f(x);
+  r.converged = false;
+  return r;
+}
+
+}  // namespace fpsq::math

@@ -1,0 +1,59 @@
+// One-dimensional root finding used throughout the analytic queueing
+// solvers (dominant poles, quantile inversion, Chernoff optimizers).
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+namespace fpsq::math {
+
+/// Result of a root search.
+struct RootResult {
+  double root = 0.0;       ///< abscissa of the (approximate) root
+  double value = 0.0;      ///< f(root)
+  int iterations = 0;      ///< iterations consumed
+  bool converged = false;  ///< whether the tolerance was met
+};
+
+/// Thrown when a bracket [a, b] does not satisfy f(a) * f(b) <= 0.
+class BracketError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Plain bisection on a sign-changing bracket. Robust, linear convergence.
+///
+/// @param f  continuous function
+/// @param a,b  bracket with f(a) * f(b) <= 0
+/// @param x_tol  absolute tolerance on the abscissa
+/// @param max_iter  iteration cap
+/// @throws BracketError if the bracket does not change sign
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double a, double b, double x_tol = 1e-12,
+                                int max_iter = 200);
+
+/// Brent's method: inverse quadratic interpolation + secant + bisection.
+/// Superlinear on smooth functions, never worse than bisection.
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f,
+                               double a, double b, double x_tol = 1e-13,
+                               int max_iter = 200);
+
+/// Expands [a, b] geometrically away from `a` until f changes sign, then
+/// runs Brent. Useful when only a lower edge of the bracket is known
+/// (e.g. dominant-pole searches on (0, s_max)).
+///
+/// @param growth  bracket expansion factor (> 1)
+[[nodiscard]] RootResult find_root_expanding(
+    const std::function<double(double)>& f, double a, double initial_step,
+    double x_tol = 1e-13, int max_expand = 200, double growth = 1.6);
+
+/// Newton iteration with bisection fallback inside a safety bracket.
+/// `df` is the derivative. Falls back to bisection steps whenever the
+/// Newton step leaves [a, b] or fails to reduce |f|.
+[[nodiscard]] RootResult newton_safe(const std::function<double(double)>& f,
+                                     const std::function<double(double)>& df,
+                                     double a, double b, double x0,
+                                     double x_tol = 1e-14,
+                                     int max_iter = 100);
+
+}  // namespace fpsq::math

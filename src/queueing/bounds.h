@@ -1,0 +1,35 @@
+// Classical GI/G/1 mean-wait bounds and approximations, as independent
+// sanity rails around the exact transform solutions:
+//  * Kingman's upper bound  E[W] <= lambda (sigma_a^2 + sigma_s^2) /
+//    (2 (1 - rho));
+//  * the Kraemer & Langenbach-Belz (KLB) refinement, the standard
+//    engineering approximation (exact for M/G/1);
+//  * Kingman's heavy-traffic exponential approximation of the tail.
+#pragma once
+
+namespace fpsq::queueing {
+
+/// Inputs describing a GI/G/1 queue by first/second moments.
+struct GiG1Moments {
+  double mean_interarrival = 1.0;  ///< E[A] [s]
+  double cov2_interarrival = 0.0;  ///< squared CoV of A
+  double mean_service = 0.0;       ///< E[S] [s]
+  double cov2_service = 0.0;       ///< squared CoV of S
+};
+
+/// Load rho = E[S]/E[A]; must be < 1 for the bounds to apply.
+[[nodiscard]] double gig1_load(const GiG1Moments& q);
+
+/// Kingman's upper bound on the mean wait [s].
+[[nodiscard]] double kingman_mean_wait_bound(const GiG1Moments& q);
+
+/// Kraemer & Langenbach-Belz approximation of the mean wait [s].
+[[nodiscard]] double klb_mean_wait(const GiG1Moments& q);
+
+/// Heavy-traffic exponential tail approximation:
+/// P(W > x) ~ rho exp(-2 (1 - rho) x / (lambda (sigma_a^2 + sigma_s^2))
+///            / E[A]... expressed via the Kingman mean:
+/// P(W > x) ~ rho exp(-rho x / W_kingman).
+[[nodiscard]] double kingman_tail_approx(const GiG1Moments& q, double x);
+
+}  // namespace fpsq::queueing

@@ -1,0 +1,103 @@
+#include "queueing/chernoff.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/minimize.h"
+
+namespace fpsq::queueing {
+
+double chernoff_tail_fn(const std::function<double(double)>& mgf_value,
+                        double s_max, double x) {
+  if (x <= 0.0) return 1.0;
+  if (!(s_max > 0.0)) {
+    throw std::invalid_argument("chernoff_tail_fn: s_max > 0");
+  }
+  // log F(s) - s x is convex in s on (0, s_max); golden-section suffices.
+  auto objective = [&mgf_value, x](double s) {
+    const double f = mgf_value(s);
+    if (!(f > 0.0)) return 1e300;  // past a sign flip near the pole
+    return std::log(f) - s * x;
+  };
+  const auto r = math::golden_section(objective, 1e-12 * s_max,
+                                      s_max * (1.0 - 1e-9), 1e-12 * s_max);
+  return std::min(1.0, std::exp(r.value));
+}
+
+double chernoff_quantile_fn(const std::function<double(double)>& mgf_value,
+                            double s_max, double epsilon) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("chernoff_quantile_fn: epsilon in (0,1)");
+  }
+  double hi = 1.0 / s_max;
+  int guard = 0;
+  while (chernoff_tail_fn(mgf_value, s_max, hi) > epsilon) {
+    hi *= 2.0;
+    if (++guard > 200) {
+      throw std::runtime_error("chernoff_quantile_fn: bracket failure");
+    }
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-13 * (1.0 + hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chernoff_tail_fn(mgf_value, s_max, mid) > epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double chernoff_tail(const ErlangMixMgf& mgf, double x) {
+  if (x <= 0.0) return 1.0;
+  if (mgf.terms().empty()) {
+    // Point mass at zero: tail beyond any positive x is zero.
+    return 0.0;
+  }
+  return chernoff_tail_fn([&mgf](double s) { return mgf.value_real(s); },
+                          mgf.dominant_pole().real(), x);
+}
+
+double chernoff_quantile(const ErlangMixMgf& mgf, double epsilon) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("chernoff_quantile: epsilon in (0,1)");
+  }
+  if (mgf.terms().empty()) return 0.0;
+  const double scale = 1.0 / mgf.dominant_pole().real();
+  double hi = scale;
+  int guard = 0;
+  while (chernoff_tail(mgf, hi) > epsilon) {
+    hi *= 2.0;
+    if (++guard > 200) {
+      throw std::runtime_error("chernoff_quantile: bracket failure");
+    }
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-13 * (1.0 + hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chernoff_tail(mgf, mid) > epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double sum_of_quantiles(const std::vector<const ErlangMixMgf*>& parts,
+                        double epsilon) {
+  if (parts.empty()) {
+    throw std::invalid_argument("sum_of_quantiles: no parts");
+  }
+  double acc = 0.0;
+  for (const auto* p : parts) {
+    if (p == nullptr) {
+      throw std::invalid_argument("sum_of_quantiles: null part");
+    }
+    acc += p->quantile(epsilon);
+  }
+  return acc;
+}
+
+}  // namespace fpsq::queueing

@@ -1,0 +1,51 @@
+#include "queueing/convolution.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/quadrature.h"
+
+namespace fpsq::queueing {
+
+double convolved_tail(const ErlangMixMgf& v, const ErlangMixture& y,
+                      double x, double quad_tol) {
+  if (x <= 0.0) return 1.0;
+  double acc = v.tail(x) + v.constant_term() * y.tail(x);
+  if (!v.terms().empty()) {
+    acc += math::integrate(
+        [&v, &y, x](double w) { return v.density(w) * y.tail(x - w); },
+        0.0, x, quad_tol);
+  }
+  return acc;
+}
+
+double convolved_quantile(const ErlangMixMgf& v, const ErlangMixture& y,
+                          double epsilon, double quad_tol) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("convolved_quantile: epsilon in (0,1)");
+  }
+  double hi = convolved_mean(v, y) + 1.0 / y.beta();
+  int guard = 0;
+  while (convolved_tail(v, y, hi, quad_tol) > epsilon) {
+    hi *= 2.0;
+    if (++guard > 100) {
+      throw std::runtime_error("convolved_quantile: bracket failure");
+    }
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 120 && hi - lo > 1e-12 * (1.0 + hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (convolved_tail(v, y, mid, quad_tol) > epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double convolved_mean(const ErlangMixMgf& v, const ErlangMixture& y) {
+  return v.mean() + y.mean();
+}
+
+}  // namespace fpsq::queueing

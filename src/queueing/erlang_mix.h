@@ -1,0 +1,106 @@
+// Sum-of-Erlang-terms representation of moment generating functions — the
+// algebra behind Section 3.3 / Appendix A of the paper.
+//
+// A delay MGF here has the form
+//     F(s) = c0 + sum_over_poles sum_{m=1}^{M_theta}
+//                 c_{theta,m} * (theta / (theta - s))^m ,
+// i.e. a constant (atom at zero) plus signed, possibly complex-weighted
+// Erlang components. This family is closed under products with disjoint
+// pole sets (Appendix A) and inverts explicitly:
+//     contribution of c*(theta/(theta-s))^m to P(X > x)  is
+//     c * e^{-theta x} * sum_{l < m} (theta x)^l / l! .
+// Complex poles appear in conjugate pairs, so tails are real.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace fpsq::queueing {
+
+using Complex = std::complex<double>;
+
+class ErlangMixMgf {
+ public:
+  /// All Erlang components sharing one pole location.
+  struct PoleTerm {
+    Complex theta;                ///< pole, Re(theta) > 0
+    std::vector<Complex> coeff;   ///< coeff[m-1] multiplies (theta/(theta-s))^m
+  };
+
+  /// Degenerate MGF of the zero random variable (F == 1).
+  ErlangMixMgf();
+
+  /// General builder. Poles must be distinct (pairwise relative distance
+  /// > kPoleClash) and have positive real part.
+  ErlangMixMgf(double constant, std::vector<PoleTerm> terms);
+
+  /// Atom at zero of mass `atom` plus (1 - atom) * Exponential(theta):
+  /// F(s) = atom + (1-atom) * theta/(theta - s). The form of eq. (14).
+  [[nodiscard]] static ErlangMixMgf atom_plus_exponential(double atom,
+                                                          Complex theta);
+
+  /// Pure Erlang(m, theta): F(s) = (theta/(theta-s))^m.
+  [[nodiscard]] static ErlangMixMgf erlang(int m, double theta);
+
+  // ---- evaluation ------------------------------------------------------
+
+  /// F(s) at a complex point (s must avoid the poles).
+  [[nodiscard]] Complex value(Complex s) const;
+
+  /// F(s) at a real point; the imaginary parts of conjugate terms cancel.
+  [[nodiscard]] double value_real(double s) const;
+
+  /// n-th derivative of F at s (n >= 0), in closed form.
+  [[nodiscard]] Complex derivative(int n, Complex s) const;
+
+  // ---- probabilistic queries ------------------------------------------
+
+  /// P(X > x) for x > 0 by explicit inversion; for x <= 0 returns
+  /// 1 - constant (the mass strictly above zero).
+  [[nodiscard]] double tail(double x) const;
+
+  /// Density of the absolutely-continuous part at x > 0 (excludes the
+  /// atom at zero): sum of c * theta^m x^{m-1} e^{-theta x} / (m-1)!.
+  [[nodiscard]] double density(double x) const;
+
+  /// Smallest x >= 0 with tail(x) <= epsilon (the epsilon-quantile of the
+  /// delay, e.g. epsilon = 1e-5 for the paper's 99.999% quantiles).
+  [[nodiscard]] double quantile(double epsilon) const;
+
+  /// E[X] = F'(0).
+  [[nodiscard]] double mean() const;
+
+  /// F(0); equals 1 for a proper probability distribution.
+  [[nodiscard]] double total_mass() const;
+
+  // ---- structure -------------------------------------------------------
+
+  [[nodiscard]] double constant_term() const noexcept { return constant_; }
+  [[nodiscard]] const std::vector<PoleTerm>& terms() const noexcept {
+    return terms_;
+  }
+
+  /// Pole with the smallest real part — the dominant (slowest-decaying)
+  /// exponential mode of the tail. Throws if there are no poles.
+  [[nodiscard]] Complex dominant_pole() const;
+
+  /// Keeps only the constant and the dominant pole's terms (plus its
+  /// conjugate partner) — the paper's "method of the dominant pole".
+  [[nodiscard]] ErlangMixMgf dominant_pole_approximation() const;
+
+  /// Relative pole-distance threshold below which products are refused.
+  static constexpr double kPoleClash = 1e-9;
+
+ private:
+  double constant_ = 1.0;
+  std::vector<PoleTerm> terms_;
+};
+
+/// Product of two MGFs (sum of independent delays), re-expanded into the
+/// same representation via Appendix-A partial fractions. The pole sets
+/// must be disjoint.
+/// @throws std::invalid_argument when poles (nearly) collide.
+[[nodiscard]] ErlangMixMgf multiply(const ErlangMixMgf& a,
+                                    const ErlangMixMgf& b);
+
+}  // namespace fpsq::queueing

@@ -1,0 +1,42 @@
+// Monte-Carlo G/G/1 engine via the Lindley recursion
+//     W_{n+1} = max(W_n + S_n - A_n, 0).
+// The analytic solvers in this library are validated against this engine,
+// and it doubles as the reference for queues with no tractable transform
+// (e.g. jittered ticks). Supports generic samplers, warmup discard,
+// quantiles from the retained sample, and batch-means confidence
+// intervals for the mean wait.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dist/rng.h"
+#include "stats/batch_means.h"
+#include "stats/empirical.h"
+
+namespace fpsq::queueing {
+
+/// Samplers draw one inter-arrival or service time [s].
+using Sampler = std::function<double(dist::Rng&)>;
+
+struct LindleyOptions {
+  std::size_t samples = 200000;  ///< retained waiting-time samples
+  std::size_t warmup = 2000;     ///< discarded initial customers
+  std::uint64_t seed = 1;
+  std::size_t batch_size = 1000; ///< batch-means batch size
+};
+
+struct LindleyResult {
+  stats::Empirical waits;     ///< retained waiting times [s]
+  double mean_wait = 0.0;     ///< batch-means point estimate
+  double mean_ci95 = 0.0;     ///< 95% half-width (0 if too few batches)
+  double p_wait_zero = 0.0;   ///< fraction of zero waits
+};
+
+/// Runs the recursion and returns the summary.
+/// @throws std::invalid_argument on non-positive sizes or null samplers.
+[[nodiscard]] LindleyResult simulate_gg1(const Sampler& interarrival,
+                                         const Sampler& service,
+                                         const LindleyOptions& options);
+
+}  // namespace fpsq::queueing

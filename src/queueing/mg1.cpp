@@ -1,0 +1,188 @@
+#include "queueing/mg1.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/roots.h"
+
+namespace fpsq::queueing {
+
+MG1DeterministicMix::MG1DeterministicMix(std::vector<ClassSpec> classes)
+    : classes_(std::move(classes)) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("MG1DeterministicMix: no classes");
+  }
+  for (const auto& c : classes_) {
+    if (!(c.lambda > 0.0) || !(c.service_s > 0.0)) {
+      throw std::invalid_argument(
+          "MG1DeterministicMix: rates and services must be positive");
+    }
+    lambda_ += c.lambda;
+    rho_ += c.lambda * c.service_s;
+  }
+  if (!(rho_ < 1.0)) {
+    throw std::invalid_argument("MG1DeterministicMix: unstable (rho >= 1)");
+  }
+}
+
+double MG1DeterministicMix::mean_wait() const {
+  // lambda E[S^2] / (2(1-rho)) with E[S^2] = sum (lambda_i/lambda) d_i^2.
+  double es2_lambda = 0.0;  // lambda * E[S^2]
+  for (const auto& c : classes_) {
+    es2_lambda += c.lambda * c.service_s * c.service_s;
+  }
+  return es2_lambda / (2.0 * (1.0 - rho_));
+}
+
+double MG1DeterministicMix::dominant_pole() const {
+  // g(s) = s - sum_i lambda_i (e^{s d_i} - 1); g(0) = 0, g'(0) = 1 - rho
+  // > 0, g concave down eventually: the positive root is unique.
+  auto g = [this](double s) {
+    double acc = s;
+    for (const auto& c : classes_) {
+      acc -= c.lambda * std::expm1(s * c.service_s);
+    }
+    return acc;
+  };
+  double d_max = 0.0;
+  for (const auto& c : classes_) {
+    d_max = std::max(d_max, c.service_s);
+  }
+  // g > 0 just right of 0; expand until g < 0.
+  const auto r =
+      math::find_root_expanding(g, 1e-9 / d_max, 0.1 / d_max, 1e-13);
+  return r.root;
+}
+
+ErlangMixMgf MG1DeterministicMix::paper_mgf() const {
+  return ErlangMixMgf::atom_plus_exponential(1.0 - rho_,
+                                             Complex{dominant_pole(), 0.0});
+}
+
+ErlangMixMgf MG1DeterministicMix::asymptotic_mgf() const {
+  const double gamma = dominant_pole();
+  // g'(gamma) = 1 - sum_i lambda_i d_i e^{gamma d_i} (negative at the
+  // root); tail constant c = -(1-rho)/g'(gamma).
+  double gp = 1.0;
+  for (const auto& c : classes_) {
+    gp -= c.lambda * c.service_s * std::exp(gamma * c.service_s);
+  }
+  if (!(gp < 0.0)) {
+    throw std::runtime_error(
+        "MG1DeterministicMix::asymptotic_mgf: unexpected g'(gamma) >= 0");
+  }
+  const double tail_const = -(1.0 - rho_) / gp;
+  return ErlangMixMgf::atom_plus_exponential(1.0 - tail_const,
+                                             Complex{gamma, 0.0});
+}
+
+MD1::MD1(double lambda, double service_s)
+    : lambda_(lambda), service_s_(service_s),
+      mix_({{lambda, service_s}}) {}
+
+double MD1::wait_cdf_exact(double t) const {
+  if (t < 0.0) return 0.0;
+  const double rho = mix_.rho();
+  // P(W <= t) = (1-rho) sum_{k=0}^{floor(t/d)} (lambda(kd-t))^k / k!
+  //             * exp(-lambda(kd-t))              [Erlang / Crommelin]
+  const auto k_max = static_cast<long>(std::floor(t / service_s_));
+  long double acc = 0.0L;
+  for (long k = 0; k <= k_max; ++k) {
+    // With u = lambda (t - kd) >= 0 the k-th term is (-1)^k u^k/k! e^{u};
+    // assemble its magnitude in log space to postpone overflow.
+    const long double u =
+        static_cast<long double>(lambda_) *
+        (t - static_cast<long double>(k) * service_s_);  // >= 0
+    long double log_term = u;
+    if (k > 0) {
+      log_term +=
+          static_cast<long double>(k) * std::log(u > 0 ? u : 1e-300L);
+      for (long j = 2; j <= k; ++j) {
+        log_term -= std::log(static_cast<long double>(j));
+      }
+    }
+    const long double mag = std::exp(log_term);
+    acc += (k % 2 == 0) ? mag : -mag;
+  }
+  const double result = static_cast<double>((1.0L - rho) * acc);
+  // Clamp the inevitable rounding at the edges of validity.
+  return std::min(1.0, std::max(0.0, result));
+}
+
+std::vector<double> MD1::queue_length_pmf(int n_max) const {
+  if (n_max < 0) {
+    throw std::invalid_argument("MD1::queue_length_pmf: n_max >= 0");
+  }
+  const double rho = mix_.rho();
+  // a_j = P(j Poisson arrivals during one deterministic service).
+  std::vector<double> a(static_cast<std::size_t>(n_max) + 2);
+  a[0] = std::exp(-rho);
+  for (std::size_t j = 1; j < a.size(); ++j) {
+    a[j] = a[j - 1] * rho / static_cast<double>(j);
+  }
+  // Embedded-chain recursion:
+  // pi_{n+1} = [pi_n - pi_0 a_n - sum_{k=1}^{n} pi_k a_{n-k+1}] / a_0.
+  std::vector<double> pi(static_cast<std::size_t>(n_max) + 1, 0.0);
+  pi[0] = 1.0 - rho;
+  for (int n = 0; n < n_max; ++n) {
+    double acc = pi[static_cast<std::size_t>(n)] -
+                 pi[0] * a[static_cast<std::size_t>(n)];
+    for (int k = 1; k <= n; ++k) {
+      acc -= pi[static_cast<std::size_t>(k)] *
+             a[static_cast<std::size_t>(n - k + 1)];
+    }
+    pi[static_cast<std::size_t>(n) + 1] = std::max(0.0, acc / a[0]);
+  }
+  return pi;
+}
+
+double MD1::loss_probability_approx(int buffer_packets) const {
+  if (buffer_packets < 1) {
+    throw std::invalid_argument(
+        "MD1::loss_probability_approx: buffer_packets >= 1");
+  }
+  const double rho = mix_.rho();
+  const double horizon =
+      (static_cast<double>(buffer_packets) - 1.0) * service_s_;
+  if (horizon <= 0.0) {
+    // Single slot: arrivals during a service are lost; renewal-reward
+    // gives exactly rho/(1 + rho).
+    return rho / (1.0 + rho);
+  }
+  // Heavy-traffic relation P_loss ~ (1 - rho) P(W_inf > (B-1) d): the
+  // infinite-buffer overflow tail, corrected by the (1 - rho) factor that
+  // the finite system's renewal structure contributes (exact for M/M/1).
+  // The exact alternating series is reliable while lambda * t stays
+  // moderate; hand over to the asymptotic exponential beyond that.
+  const double tail = lambda_ * horizon <= 25.0
+                          ? wait_tail_exact(horizon)
+                          : mix_.asymptotic_mgf().tail(horizon);
+  return (1.0 - rho) * tail;
+}
+
+double MD1::wait_quantile_exact(double epsilon) const {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("MD1::wait_quantile_exact: epsilon in (0,1)");
+  }
+  if (wait_tail_exact(0.0) <= epsilon) return 0.0;
+  double hi = service_s_;
+  int guard = 0;
+  while (wait_tail_exact(hi) > epsilon) {
+    hi *= 2.0;
+    if (++guard > 100) {
+      throw std::runtime_error("MD1::wait_quantile_exact: bracket failure");
+    }
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-13 * (1.0 + hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (wait_tail_exact(mid) > epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace fpsq::queueing

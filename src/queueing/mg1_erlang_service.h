@@ -1,0 +1,82 @@
+// M/G/1 with Erlang-mixture service — the multi-server downstream model
+// sketched at the start of Section 3.2: when the bursts of several game
+// servers share one reserved pipe, the burst arrival process is a
+// superposition of periodic streams (-> Poisson for many servers, by the
+// same eq.-11 argument as upstream) and the service requirement is the
+// arrival-rate-weighted mixture of the per-server Erlang burst laws:
+// the N*D/G/1 queue with G = sum of Erlangs, approximated by M/G/1.
+//
+// Provided: exact load and Pollaczek-Khinchine mean, the dominant pole
+// gamma (unique positive root of s = lambda (B(s) - 1) below the smallest
+// Erlang rate), and the two single-pole MGF forms used throughout this
+// library (the paper's eq.-14 style with atom 1 - rho, and the exact
+// asymptotic-residue variant).
+#pragma once
+
+#include <vector>
+
+#include "queueing/erlang_mix.h"
+
+namespace fpsq::queueing {
+
+class MG1ErlangMixService {
+ public:
+  /// One service-mixture component: Erlang(k, rate), picked w.p. weight.
+  struct Component {
+    double weight = 0.0;  ///< positive; normalized to sum to 1
+    int k = 1;            ///< Erlang order (>= 1)
+    double rate = 0.0;    ///< Erlang rate [1/s]
+  };
+
+  /// @param lambda      Poisson burst arrival rate [1/s]
+  /// @param components  at least one component
+  /// @throws std::invalid_argument on bad parameters or rho >= 1
+  MG1ErlangMixService(double lambda, std::vector<Component> components);
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+  [[nodiscard]] double mean_service() const noexcept { return es_; }
+
+  /// Pollaczek-Khinchine mean wait: lambda E[S^2] / (2 (1 - rho)).
+  [[nodiscard]] double mean_wait() const;
+
+  /// Service-time MGF B(s) (real s below the smallest component rate).
+  [[nodiscard]] double service_mgf(double s) const;
+
+  /// Dominant pole of the waiting-time MGF.
+  [[nodiscard]] double dominant_pole() const;
+
+  /// Eq.-14 style approximation: (1 - rho) + rho gamma/(gamma - s).
+  [[nodiscard]] ErlangMixMgf paper_mgf() const;
+
+  /// Single pole with the exact asymptotic residue.
+  [[nodiscard]] ErlangMixMgf asymptotic_mgf() const;
+
+  /// The *exact* waiting-time MGF: all sum(K_i) poles of
+  /// W(s) = (1 - rho) s / (s - lambda (B(s) - 1)) with their residues.
+  /// Poles are localized with Durand-Kerner on the expanded rational
+  /// denominator, then polished with Newton on the stable factored form;
+  /// residues come from the factored form only. Practical up to
+  /// sum(K_i) of a few tens (the polynomial localization degrades for
+  /// very high degrees).
+  /// @throws std::runtime_error if localization fails or poles are
+  ///         (numerically) confluent
+  [[nodiscard]] ErlangMixMgf full_mgf() const;
+
+  /// Total Erlang order sum(K_i) — the exact pole count of full_mgf().
+  [[nodiscard]] int total_order() const;
+
+  [[nodiscard]] const std::vector<Component>& components() const noexcept {
+    return components_;
+  }
+
+ private:
+  double lambda_;
+  std::vector<Component> components_;
+  double es_ = 0.0;   ///< E[S]
+  double es2_ = 0.0;  ///< E[S^2]
+  double rho_ = 0.0;
+  double min_rate_ = 0.0;
+};
+
+}  // namespace fpsq::queueing

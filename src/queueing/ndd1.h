@@ -1,0 +1,47 @@
+// N*D/D/1 analysis (Section 3.1): N periodic sources with period D and
+// packet service time d = p/C feeding one queue. Three estimates of the
+// steady-state delay tail P(W > x), in decreasing fidelity / cost:
+//
+//  * benes_tail       — the "dominant term" reduction of the Benes /
+//                       supremum representation (eqs. 2-4): the union over
+//                       windows t is replaced by the strongest single
+//                       window, with the *exact* binomial tail inside;
+//  * chernoff_tail    — additionally bounds the binomial tail by Chernoff
+//                       with the closed-form optimal s (eqs. 5-10);
+//  * poisson_tail     — the Poisson / M/D/1 limit (eqs. 11-12), valid as
+//                       N grows at constant load.
+//
+// All take delays and periods in seconds.
+#pragma once
+
+namespace fpsq::queueing {
+
+struct NDD1Params {
+  int n = 1;             ///< number of periodic sources
+  double period_s = 1.0; ///< common period D [s]
+  double service_s = 0.0;///< per-packet service time d = p/C [s]
+};
+
+/// Load N d / D.
+[[nodiscard]] double ndd1_load(const NDD1Params& q);
+
+/// Dominant-window estimate with exact binomial tails (eq. 4).
+[[nodiscard]] double ndd1_benes_tail(const NDD1Params& q, double x);
+
+/// Union-bound variant: sums the window events instead of taking the
+/// strongest one. Upper-bounds ndd1_benes_tail; the gap between the two
+/// quantifies how sharp the paper's dominant-term reduction (eq. 3) is.
+[[nodiscard]] double ndd1_union_tail(const NDD1Params& q, double x);
+
+/// Large-deviations estimate (eq. 10); returns the tail (not its log).
+[[nodiscard]] double ndd1_chernoff_tail(const NDD1Params& q, double x);
+
+/// Poisson-limit large-deviations estimate (eq. 12).
+[[nodiscard]] double ndd1_poisson_tail(const NDD1Params& q, double x);
+
+/// epsilon-quantile from any of the above tails (monotone bisection).
+enum class NDD1Method { kBenes, kChernoff, kPoisson };
+[[nodiscard]] double ndd1_quantile(const NDD1Params& q, double epsilon,
+                                   NDD1Method method);
+
+}  // namespace fpsq::queueing

@@ -1,0 +1,173 @@
+#include "queueing/position_delay.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/quadrature.h"
+#include "math/special.h"
+
+namespace fpsq::queueing {
+
+ErlangMixture::ErlangMixture(double beta, std::vector<double> weights)
+    : beta_(beta), weights_(std::move(weights)) {
+  if (!(beta > 0.0) || weights_.empty()) {
+    throw std::invalid_argument("ErlangMixture: beta > 0 and weights");
+  }
+  double sum = 0.0;
+  for (double w : weights_) {
+    if (w < 0.0) {
+      throw std::invalid_argument("ErlangMixture: negative weight");
+    }
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-12) {
+    throw std::invalid_argument("ErlangMixture: weights must sum to 1");
+  }
+}
+
+double ErlangMixture::tail(double x) const {
+  if (x <= 0.0) return 1.0;
+  const double bx = beta_ * x;
+  if (bx > 745.0) {
+    // Deep tail: fall back to log-space via the largest component.
+    double acc = 0.0;
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+      if (weights_[j] > 0.0) {
+        acc += weights_[j] *
+               math::gamma_q(static_cast<double>(j) + 1.0, bx);
+      }
+    }
+    return acc;
+  }
+  // One pass: tail of Erlang(j) = e^{-bx} sum_{l<j} (bx)^l / l!.
+  double term = std::exp(-bx);
+  double partial = term;
+  double acc = 0.0;
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    acc += weights_[j] * partial;
+    term *= bx / static_cast<double>(j + 1);
+    partial += term;
+  }
+  return acc;
+}
+
+double ErlangMixture::density(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double bx = beta_ * x;
+  if (bx > 745.0) return 0.0;
+  double term = beta_ * std::exp(-bx);  // Erlang(1) density
+  double acc = 0.0;
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    acc += weights_[j] * term;
+    term *= bx / static_cast<double>(j + 1);
+  }
+  return acc;
+}
+
+double ErlangMixture::mean() const {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    acc += weights_[j] * static_cast<double>(j + 1);
+  }
+  return acc / beta_;
+}
+
+Complex ErlangMixture::mgf(Complex s) const {
+  const Complex base = beta_ / (Complex{beta_, 0.0} - s);
+  Complex power = base;
+  Complex acc{0.0, 0.0};
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    acc += weights_[j] * power;
+    power *= base;
+  }
+  return acc;
+}
+
+double ErlangMixture::quantile(double epsilon) const {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("ErlangMixture::quantile: epsilon in (0,1)");
+  }
+  double hi = static_cast<double>(weights_.size()) / beta_;
+  int guard = 0;
+  while (tail(hi) > epsilon) {
+    hi *= 2.0;
+    if (++guard > 100) {
+      throw std::runtime_error("ErlangMixture::quantile: bracket failure");
+    }
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-13 * (1.0 + hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (tail(mid) > epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+ErlangMixMgf position_delay_fixed(int k, double beta, double theta) {
+  if (k < 1 || !(beta > 0.0)) {
+    throw std::invalid_argument("position_delay_fixed: k >= 1, beta > 0");
+  }
+  if (!(theta > 0.0 && theta <= 1.0)) {
+    throw std::invalid_argument("position_delay_fixed: theta in (0, 1]");
+  }
+  return ErlangMixMgf::erlang(k, beta / theta);
+}
+
+ErlangMixMgf position_delay_uniform(int k, double beta) {
+  if (k < 2 || !(beta > 0.0)) {
+    throw std::invalid_argument(
+        "position_delay_uniform: k >= 2, beta > 0 (K = 1 is a branch "
+        "point, eq. 33)");
+  }
+  ErlangMixMgf::PoleTerm term;
+  term.theta = Complex{beta, 0.0};
+  term.coeff.assign(static_cast<std::size_t>(k - 1),
+                    Complex{1.0 / static_cast<double>(k - 1), 0.0});
+  return ErlangMixMgf{0.0, {std::move(term)}};
+}
+
+ErlangMixture position_delay_uniform_mixture(int k, double beta) {
+  if (k < 2 || !(beta > 0.0)) {
+    throw std::invalid_argument(
+        "position_delay_uniform_mixture: k >= 2, beta > 0");
+  }
+  std::vector<double> w(static_cast<std::size_t>(k - 1),
+                        1.0 / static_cast<double>(k - 1));
+  return ErlangMixture{beta, std::move(w)};
+}
+
+double position_delay_uniform_tail_k1(double beta, double x) {
+  if (!(beta > 0.0)) {
+    throw std::invalid_argument("position_delay_uniform_tail_k1: beta > 0");
+  }
+  if (x <= 0.0) return 1.0;
+  // P(U B > x) = int_0^1 P(B > x/u) du = int_0^1 exp(-beta x / u) du.
+  return math::integrate(
+      [beta, x](double u) {
+        return u > 0.0 ? std::exp(-beta * x / u) : 0.0;
+      },
+      0.0, 1.0, 1e-12);
+}
+
+double position_delay_uniform_mgf_numeric(int k, double beta, double s) {
+  if (k < 1 || !(beta > 0.0)) {
+    throw std::invalid_argument(
+        "position_delay_uniform_mgf_numeric: k >= 1, beta > 0");
+  }
+  if (!(s < beta)) {
+    throw std::invalid_argument(
+        "position_delay_uniform_mgf_numeric: requires s < beta");
+  }
+  // Eq. (30): P(s) = int_0^1 (beta/(beta - s tau))^K dtau.
+  return math::integrate(
+      [k, beta, s](double tau) {
+        return std::pow(beta / (beta - s * tau), k);
+      },
+      0.0, 1.0, 1e-12);
+}
+
+}  // namespace fpsq::queueing

@@ -1,0 +1,36 @@
+#include "sim/cross_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace fpsq::sim {
+
+CrossTrafficSource::CrossTrafficSource(Simulator& sim, double rate_pps,
+                                       dist::DistributionPtr size,
+                                       std::function<void(SimPacket&&)> emit,
+                                       dist::Rng rng)
+    : sim_(sim), rate_pps_(rate_pps), size_(std::move(size)),
+      emit_(std::move(emit)), rng_(rng) {
+  if (!(rate_pps > 0.0) || !size_ || !emit_) {
+    throw std::invalid_argument("CrossTrafficSource: bad arguments");
+  }
+}
+
+void CrossTrafficSource::start() { schedule_next(); }
+
+void CrossTrafficSource::schedule_next() {
+  sim_.schedule_in(rng_.exponential(rate_pps_), [this]() {
+    SimPacket p;
+    p.id = next_id_++;
+    p.size_bytes = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(size_->sample(rng_))));
+    p.traffic_class = TrafficClass::kElastic;
+    p.created_s = sim_.now();
+    emit_(std::move(p));
+    schedule_next();
+  });
+}
+
+}  // namespace fpsq::sim

@@ -1,0 +1,40 @@
+// Elastic (background) cross-traffic source: Poisson arrivals of large
+// data packets, injected into a shared link to exercise the FIFO /
+// priority / WFQ comparison of Section 1 — the claim that, under WFQ or
+// priority scheduling, the interactive queue can be studied in isolation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dist/distribution.h"
+#include "sim/event_kernel.h"
+#include "sim/packet.h"
+
+namespace fpsq::sim {
+
+class CrossTrafficSource {
+ public:
+  /// @param sim        kernel
+  /// @param rate_pps   Poisson packet rate [1/s]
+  /// @param size       packet-size law [bytes]
+  /// @param emit       sink for generated packets
+  CrossTrafficSource(Simulator& sim, double rate_pps,
+                     dist::DistributionPtr size,
+                     std::function<void(SimPacket&&)> emit, dist::Rng rng);
+
+  /// Begins emission at a random exponential offset.
+  void start();
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  double rate_pps_;
+  dist::DistributionPtr size_;
+  std::function<void(SimPacket&&)> emit_;
+  dist::Rng rng_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace fpsq::sim

@@ -1,0 +1,34 @@
+#include "sim/event_kernel.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fpsq::sim {
+
+void Simulator::schedule_at(double when, Handler handler) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  heap_.push(Event{when, seq_++, std::move(handler)});
+}
+
+void Simulator::schedule_in(double delay, Handler handler) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+void Simulator::run_until(double t_end) {
+  while (!heap_.empty() && heap_.top().when <= t_end) {
+    // Copy out before pop so the handler may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.handler();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace fpsq::sim

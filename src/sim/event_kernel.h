@@ -1,0 +1,54 @@
+// Minimal discrete-event simulation kernel: a time-ordered event heap
+// with deterministic FIFO tie-breaking, so simulation runs are exactly
+// reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fpsq::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time [s].
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedules `handler` at absolute time `when` (>= now).
+  void schedule_at(double when, Handler handler);
+
+  /// Schedules `handler` after a delay (>= 0).
+  void schedule_in(double delay, Handler handler);
+
+  /// Runs events until the heap empties or the next event is past
+  /// `t_end`; the clock is left at the last executed event (or t_end).
+  void run_until(double t_end);
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace fpsq::sim

@@ -1,0 +1,317 @@
+#include "sim/gaming_scenario.h"
+
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/dist.h"
+#include "sim/cross_traffic.h"
+#include "sim/event_kernel.h"
+#include "sim/link.h"
+
+namespace fpsq::sim {
+
+namespace {
+
+std::unique_ptr<QueueDiscipline> make_scheduler(
+    const GamingScenarioConfig& cfg) {
+  switch (cfg.scheduler) {
+    case GamingScenarioConfig::Scheduler::kFifo:
+      return make_fifo();
+    case GamingScenarioConfig::Scheduler::kHolPriority:
+      return make_hol_priority();
+    case GamingScenarioConfig::Scheduler::kWfq:
+      return make_wfq(cfg.wfq_interactive_share,
+                      1.0 - cfg.wfq_interactive_share);
+  }
+  throw std::logic_error("make_scheduler: unknown scheduler");
+}
+
+/// Book-keeping for RTT pairing at one client: upstream packets that have
+/// reached the server and await the next burst. A queue (rather than a
+/// single slot) is essential: when the downstream backlog exceeds a tick,
+/// several upstream packets are in flight per undelivered burst, and
+/// keeping only the latest would silently drop exactly the high-delay
+/// episodes the tail quantiles need.
+struct PendingUpstream {
+  double send_s = 0.0;    ///< emission time at the client
+  double arrive_s = 0.0;  ///< arrival time at the server
+  double up_total = 0.0;  ///< total upstream delay
+};
+
+using ClientPingState = std::deque<PendingUpstream>;
+
+}  // namespace
+
+double downlink_load(const GamingScenarioConfig& c) {
+  return 8.0 * static_cast<double>(c.n_clients) * c.server_packet_bytes /
+         (c.tick_ms * 1e-3 * c.bottleneck_bps);
+}
+
+double uplink_load(const GamingScenarioConfig& c) {
+  return 8.0 * static_cast<double>(c.n_clients) * c.client_packet_bytes /
+         (c.tick_ms * 1e-3 * c.bottleneck_bps);
+}
+
+GamingScenarioResult run_gaming_scenario(const GamingScenarioConfig& cfg) {
+  if (cfg.n_clients < 1 || !(cfg.tick_ms > 0.0) ||
+      !(cfg.duration_s > cfg.warmup_s) || cfg.erlang_k < 1) {
+    throw std::invalid_argument("run_gaming_scenario: bad config");
+  }
+  if (!(downlink_load(cfg) < 1.0) || !(uplink_load(cfg) < 1.0)) {
+    throw std::invalid_argument(
+        "run_gaming_scenario: unstable gaming load (rho >= 1)");
+  }
+  if (cfg.cross_load < 0.0 || cfg.cross_load >= 1.0) {
+    throw std::invalid_argument("run_gaming_scenario: cross_load in [0,1)");
+  }
+  if (cfg.tick_jitter_cov < 0.0 || cfg.client_jitter_cov < 0.0) {
+    throw std::invalid_argument(
+        "run_gaming_scenario: jitter CoVs must be >= 0");
+  }
+
+  Simulator sim;
+  dist::Rng master{cfg.seed};
+  const double tick_s = cfg.tick_ms * 1e-3;
+  const auto n = static_cast<std::size_t>(cfg.n_clients);
+
+  GamingScenarioResult result;
+  result.rho_up = uplink_load(cfg);
+  result.rho_down = downlink_load(cfg);
+  result.upstream_wait = DelayTap{cfg.warmup_s, cfg.store_samples};
+  result.upstream_total = DelayTap{cfg.warmup_s, cfg.store_samples};
+  result.downstream_delay = DelayTap{cfg.warmup_s, cfg.store_samples};
+  result.downstream_total = DelayTap{cfg.warmup_s, cfg.store_samples};
+  result.model_rtt = DelayTap{cfg.warmup_s, cfg.store_samples};
+  result.true_ping = DelayTap{cfg.warmup_s, cfg.store_samples};
+
+  std::vector<ClientPingState> ping(n);
+
+  // ---- downstream path --------------------------------------------------
+  // Access downlinks: one per client; delivery closes the RTT pairing.
+  std::vector<std::unique_ptr<Link>> downlinks;
+  downlinks.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    downlinks.push_back(std::make_unique<Link>(
+        sim, cfg.downlink_bps, make_fifo(),
+        [&sim, &result, &ping](SimPacket&& p) {
+          const double now = sim.now();
+          result.downstream_total.record(now, now - p.burst_start_s);
+          // Pair with the most recent upstream packet that had reached
+          // the server when this burst was emitted; discard older ones
+          // (the server's state update supersedes them).
+          auto& st = ping[p.flow_id];
+          const PendingUpstream* match = nullptr;
+          std::size_t keep_from = 0;
+          for (std::size_t i = 0; i < st.size(); ++i) {
+            if (st[i].arrive_s <= p.burst_start_s) {
+              match = &st[i];
+              keep_from = i + 1;
+            } else {
+              break;
+            }
+          }
+          if (match != nullptr) {
+            result.true_ping.record(now, now - match->send_s);
+            result.model_rtt.record(
+                now, match->up_total + (now - p.burst_start_s));
+            st.erase(st.begin(),
+                     st.begin() + static_cast<std::ptrdiff_t>(keep_from));
+          }
+        }));
+  }
+
+  // Bottleneck queues, optionally bounded with gaming-drop accounting.
+  auto make_bottleneck_queue = [&cfg](std::uint64_t* gaming_drops)
+      -> std::unique_ptr<QueueDiscipline> {
+    auto inner = make_scheduler(cfg);
+    if (cfg.bottleneck_buffer_packets == 0) {
+      return inner;
+    }
+    return std::make_unique<BoundedQueue>(
+        std::move(inner), cfg.bottleneck_buffer_packets,
+        [gaming_drops](const SimPacket& p) {
+          if (p.traffic_class == TrafficClass::kInteractive) {
+            ++*gaming_drops;
+          }
+        });
+  };
+
+  // Bottleneck downstream link (server -> fan-out).
+  Link down_bottleneck{
+      sim, cfg.bottleneck_bps,
+      make_bottleneck_queue(&result.downstream_gaming_drops),
+      [&sim, &result, &downlinks](SimPacket&& p) {
+        if (p.traffic_class == TrafficClass::kElastic) {
+          return;  // background data leaves the system here
+        }
+        result.downstream_delay.record(sim.now(),
+                                       sim.now() - p.burst_start_s);
+        ++result.downstream_packets;
+        downlinks[p.flow_id]->send(std::move(p));
+      }};
+
+  // ---- upstream path ----------------------------------------------------
+  // Aggregation queue feeding the bottleneck toward the server.
+  Link up_bottleneck{
+      sim, cfg.bottleneck_bps,
+      make_bottleneck_queue(&result.upstream_gaming_drops),
+      [&sim, &result, &ping](SimPacket&& p) {
+        if (p.traffic_class == TrafficClass::kElastic) {
+          return;
+        }
+        const double now = sim.now();
+        const double total = now - p.created_s;
+        result.upstream_total.record(now, total);
+        ++result.upstream_packets;
+        auto& st = ping[p.flow_id];
+        st.push_back({p.created_s, now, total});
+        if (st.size() > 64) {
+          st.pop_front();  // bound memory under pathological backlog
+        }
+      }};
+  up_bottleneck.set_wait_observer(
+      [&sim, &result](const SimPacket& p, double wait) {
+        if (p.traffic_class == TrafficClass::kInteractive) {
+          result.upstream_wait.record(sim.now(), wait);
+        }
+      });
+
+  // Access uplinks: one per client, feeding the aggregation queue.
+  std::vector<std::unique_ptr<Link>> uplinks;
+  uplinks.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    uplinks.push_back(std::make_unique<Link>(
+        sim, cfg.uplink_bps, make_fifo(),
+        [&up_bottleneck](SimPacket&& p) {
+          up_bottleneck.send(std::move(p));
+        }));
+  }
+
+  // ---- sources ------------------------------------------------------------
+  // Period samplers: deterministic by default, Gamma-jittered on demand.
+  auto make_period_sampler = [tick_s](double cov) {
+    std::shared_ptr<const dist::Distribution> law;
+    if (cov > 0.0) {
+      const double shape = 1.0 / (cov * cov);
+      law = std::make_shared<dist::Gamma>(shape, shape / tick_s);
+    }
+    return [law, tick_s](dist::Rng& rng) {
+      if (!law) return tick_s;
+      double v;
+      do {
+        v = law->sample(rng);
+      } while (!(v > 0.0));
+      return v;
+    };
+  };
+
+  // Clients: (near-)periodic emission, random phases.
+  std::uint64_t next_packet_id = 0;
+  const auto client_size = static_cast<std::uint32_t>(
+      std::lround(cfg.client_packet_bytes));
+  auto client_period = make_period_sampler(cfg.client_jitter_cov);
+  auto client_rng = std::make_shared<dist::Rng>(master.split());
+  for (std::size_t c = 0; c < n; ++c) {
+    const double phase = master.uniform01() * tick_s;
+    // Recursive periodic emission via a shared callable.
+    auto emit = std::make_shared<std::function<void()>>();
+    *emit = [&sim, &uplinks, &next_packet_id, emit, c, client_size,
+             client_period, client_rng]() {
+      SimPacket p;
+      p.id = next_packet_id++;
+      p.size_bytes = client_size;
+      p.direction = trace::Direction::kClientToServer;
+      p.flow_id = static_cast<std::uint16_t>(c);
+      p.created_s = sim.now();
+      uplinks[c]->send(std::move(p));
+      sim.schedule_in(client_period(*client_rng),
+                      [emit]() { (*emit)(); });
+    };
+    sim.schedule_at(phase, [emit]() { (*emit)(); });
+  }
+
+  // Server: burst every tick; total size Erlang(K, mean = N * P_S).
+  const double burst_mean_bytes =
+      static_cast<double>(cfg.n_clients) * cfg.server_packet_bytes;
+  const dist::Erlang burst_law =
+      dist::Erlang::from_mean(cfg.erlang_k, burst_mean_bytes);
+  dist::Rng server_rng = master.split();
+  std::uint32_t burst_id = 0;
+  auto tick_period = make_period_sampler(cfg.tick_jitter_cov);
+  auto emit_burst = std::make_shared<std::function<void()>>();
+  *emit_burst = [&sim, &down_bottleneck, &burst_law, &server_rng, &cfg,
+                 &next_packet_id, &burst_id, emit_burst, n,
+                 tick_period]() {
+    const double total = burst_law.sample(server_rng);
+    // Split the burst over the clients.
+    std::vector<double> weights(n, 1.0);
+    if (cfg.within_burst_cov > 0.0) {
+      const auto wlaw =
+          dist::Lognormal::from_mean_cov(1.0, cfg.within_burst_cov);
+      for (auto& w : weights) w = wlaw.sample(server_rng);
+    }
+    double wsum = 0.0;
+    for (double w : weights) wsum += w;
+    std::vector<std::uint16_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = static_cast<std::uint16_t>(i);
+    }
+    if (cfg.shuffle_burst_order) {
+      for (std::size_t i = n; i > 1; --i) {
+        const auto j =
+            static_cast<std::size_t>(server_rng.uniform_int(i));
+        std::swap(order[i - 1], order[j]);
+      }
+    }
+    const double now = sim.now();
+    for (std::size_t i = 0; i < n; ++i) {
+      SimPacket p;
+      p.id = next_packet_id++;
+      p.size_bytes = static_cast<std::uint32_t>(
+          std::max(1.0, std::round(total * weights[i] / wsum)));
+      p.direction = trace::Direction::kServerToClient;
+      p.flow_id = order[i];
+      p.burst_id = burst_id;
+      p.created_s = now;
+      p.burst_start_s = now;
+      down_bottleneck.send(std::move(p));
+    }
+    ++burst_id;
+    sim.schedule_in(tick_period(server_rng),
+                    [emit_burst]() { (*emit_burst)(); });
+  };
+  sim.schedule_at(master.uniform01() * tick_s,
+                  [emit_burst]() { (*emit_burst)(); });
+
+  // Optional elastic cross traffic on both bottleneck directions.
+  std::unique_ptr<CrossTrafficSource> cross_up, cross_down;
+  if (cfg.cross_load > 0.0) {
+    const double pps = cfg.cross_load * cfg.bottleneck_bps /
+                       (8.0 * cfg.cross_packet_bytes);
+    const auto size_law =
+        std::make_shared<dist::Deterministic>(cfg.cross_packet_bytes);
+    cross_up = std::make_unique<CrossTrafficSource>(
+        sim, pps, size_law,
+        [&up_bottleneck](SimPacket&& p) {
+          up_bottleneck.send(std::move(p));
+        },
+        master.split());
+    cross_down = std::make_unique<CrossTrafficSource>(
+        sim, pps, size_law,
+        [&down_bottleneck](SimPacket&& p) {
+          down_bottleneck.send(std::move(p));
+        },
+        master.split());
+    cross_up->start();
+    cross_down->start();
+  }
+
+  sim.run_until(cfg.duration_s);
+  result.events = sim.events_executed();
+  return result;
+}
+
+}  // namespace fpsq::sim

@@ -1,0 +1,105 @@
+// Packet-level simulation of the paper's Figure-2 architecture:
+//
+//   client_i --R_up--> [aggregation queue --C--> server]     (upstream)
+//   server  --C--> [fan-out] --R_down--> client_i            (downstream)
+//
+// Clients emit one P_C-byte packet per tick T (random phases); the server
+// emits one burst per tick whose total size follows Erlang(K) with mean
+// N * P_S, split over per-client packets. Optional elastic cross traffic
+// on the bottleneck under FIFO / HoL-priority / WFQ scheduling probes the
+// isolation assumption of Section 1.
+//
+// The taps expose exactly the quantities the Section-3 models predict, so
+// model-vs-simulation comparisons are one function call.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/measurement.h"
+
+namespace fpsq::sim {
+
+struct GamingScenarioConfig {
+  int n_clients = 40;
+  double tick_ms = 40.0;               ///< T: client period & server tick
+  double client_packet_bytes = 80.0;   ///< P_C
+  double server_packet_bytes = 125.0;  ///< P_S (mean per-client share)
+  int erlang_k = 9;                    ///< burst-total Erlang order
+  /// Within-burst packet-size CoV; 0 = equal split (the model's uniform-
+  /// position assumption, in discrete form).
+  double within_burst_cov = 0.0;
+  bool shuffle_burst_order = true;
+
+  /// CoV of the server tick interval (0 = deterministic, the model's
+  /// assumption; >0 draws Gamma-distributed intervals with mean tick_ms).
+  /// The paper's own UT2003 measurements show CoV 0.07.
+  double tick_jitter_cov = 0.0;
+  /// CoV of each client's packet period (0 = deterministic; UT2003
+  /// measured 0.65).
+  double client_jitter_cov = 0.0;
+
+  double uplink_bps = 128e3;     ///< R_up per client
+  double downlink_bps = 1024e3;  ///< R_down per client
+  double bottleneck_bps = 5e6;   ///< C (gaming share of the trunk)
+
+  double duration_s = 300.0;
+  double warmup_s = 5.0;
+  std::uint64_t seed = 1;
+  bool store_samples = true;
+
+  /// Bottleneck queue capacity in packets per direction (0 = unbounded).
+  /// When finite, overflowing packets are tail-dropped and counted.
+  std::size_t bottleneck_buffer_packets = 0;
+
+  /// Elastic cross traffic offered on each bottleneck direction, as a
+  /// fraction of C (0 disables).
+  double cross_load = 0.0;
+  double cross_packet_bytes = 1500.0;
+  enum class Scheduler { kFifo, kHolPriority, kWfq };
+  Scheduler scheduler = Scheduler::kFifo;
+  /// WFQ weight share guaranteed to the interactive class.
+  double wfq_interactive_share = 0.5;
+};
+
+struct GamingScenarioResult {
+  double rho_up = 0.0;    ///< gaming upstream load on C
+  double rho_down = 0.0;  ///< gaming downstream load on C
+
+  DelayTap upstream_wait;     ///< queueing wait at the aggregation queue
+  DelayTap upstream_total;    ///< client emission -> server arrival
+  DelayTap downstream_delay;  ///< burst start -> bottleneck serialization done
+  DelayTap downstream_total;  ///< burst start -> client arrival
+  DelayTap model_rtt;         ///< upstream_total + downstream_total (paired)
+  DelayTap true_ping;         ///< client send -> response at client (incl. tick wait)
+
+  std::uint64_t events = 0;
+  std::uint64_t upstream_packets = 0;
+  std::uint64_t downstream_packets = 0;
+
+  /// Gaming packets tail-dropped at the bottleneck queues (only counted
+  /// when bottleneck_buffer_packets > 0).
+  std::uint64_t upstream_gaming_drops = 0;
+  std::uint64_t downstream_gaming_drops = 0;
+
+  /// Gaming loss fraction per direction (drops / offered).
+  [[nodiscard]] double upstream_loss() const {
+    const double offered = static_cast<double>(upstream_packets +
+                                               upstream_gaming_drops);
+    return offered > 0.0 ? upstream_gaming_drops / offered : 0.0;
+  }
+  [[nodiscard]] double downstream_loss() const {
+    const double offered = static_cast<double>(downstream_packets +
+                                               downstream_gaming_drops);
+    return offered > 0.0 ? downstream_gaming_drops / offered : 0.0;
+  }
+};
+
+/// Runs the scenario to completion and returns the measurement taps.
+[[nodiscard]] GamingScenarioResult run_gaming_scenario(
+    const GamingScenarioConfig& config);
+
+/// Gaming loads implied by a config (eq. 37 and its uplink analogue).
+[[nodiscard]] double downlink_load(const GamingScenarioConfig& config);
+[[nodiscard]] double uplink_load(const GamingScenarioConfig& config);
+
+}  // namespace fpsq::sim

@@ -1,0 +1,60 @@
+#include "sim/link.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fpsq::sim {
+
+Link::Link(Simulator& sim, double rate_bps,
+           std::unique_ptr<QueueDiscipline> queue, DeliveryFn deliver,
+           double prop_delay_s)
+    : sim_(sim), rate_bps_(rate_bps), queue_(std::move(queue)),
+      deliver_(std::move(deliver)), prop_delay_s_(prop_delay_s) {
+  if (!(rate_bps > 0.0) || prop_delay_s < 0.0) {
+    throw std::invalid_argument("Link: bad rate or propagation delay");
+  }
+  if (!queue_ || !deliver_) {
+    throw std::invalid_argument("Link: queue and delivery required");
+  }
+}
+
+void Link::send(SimPacket packet) {
+  packet.enqueued_s = sim_.now();
+  queue_->enqueue(std::move(packet));
+  if (!busy_) {
+    start_next();
+  }
+}
+
+void Link::set_wait_observer(WaitObserverFn observer) {
+  wait_observer_ = std::move(observer);
+}
+
+void Link::start_next() {
+  auto next = queue_->dequeue();
+  if (!next) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const double wait = sim_.now() - next->enqueued_s;
+  if (wait_observer_) {
+    wait_observer_(*next, wait);
+  }
+  const double tx = next->size_bits() / rate_bps_;
+  // Capture by value into the completion event; the link object itself is
+  // captured by reference and must outlive the simulation run.
+  sim_.schedule_in(tx, [this, p = std::move(*next)]() mutable {
+    if (prop_delay_s_ > 0.0) {
+      sim_.schedule_in(prop_delay_s_,
+                       [this, p = std::move(p)]() mutable {
+                         deliver_(std::move(p));
+                       });
+    } else {
+      deliver_(std::move(p));
+    }
+    start_next();
+  });
+}
+
+}  // namespace fpsq::sim

@@ -1,0 +1,63 @@
+// Output link with a queue discipline: serializes packets at a fixed bit
+// rate, non-preemptively, and hands them to a delivery callback after an
+// optional propagation delay. Also reports per-packet waiting time (time
+// in queue before service starts), the quantity the Section-3 models
+// predict.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/event_kernel.h"
+#include "sim/packet.h"
+#include "sim/queues.h"
+
+namespace fpsq::sim {
+
+class Link {
+ public:
+  /// Called when a packet finishes serialization (+ propagation).
+  using DeliveryFn = std::function<void(SimPacket&&)>;
+  /// Called at service start with (packet, waiting time in this queue).
+  using WaitObserverFn = std::function<void(const SimPacket&, double)>;
+
+  /// @param sim        simulation kernel (must outlive the link)
+  /// @param rate_bps   serialization rate [bit/s]
+  /// @param queue      queue discipline (owned)
+  /// @param deliver    downstream delivery callback
+  /// @param prop_delay_s  propagation delay added after serialization
+  Link(Simulator& sim, double rate_bps,
+       std::unique_ptr<QueueDiscipline> queue, DeliveryFn deliver,
+       double prop_delay_s = 0.0);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Enqueues the packet (stamping enqueued_s) and starts service if idle.
+  void send(SimPacket packet);
+
+  /// Registers an observer of per-packet waiting times at this link.
+  void set_wait_observer(WaitObserverFn observer);
+
+  [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t queue_size() const { return queue_->size(); }
+
+  /// Serialization time of a packet of `bytes` at this link's rate.
+  [[nodiscard]] double serialization_s(double bytes) const noexcept {
+    return 8.0 * bytes / rate_bps_;
+  }
+
+ private:
+  void start_next();
+
+  Simulator& sim_;
+  double rate_bps_;
+  std::unique_ptr<QueueDiscipline> queue_;
+  DeliveryFn deliver_;
+  double prop_delay_s_;
+  WaitObserverFn wait_observer_;
+  bool busy_ = false;
+};
+
+}  // namespace fpsq::sim

@@ -1,0 +1,33 @@
+// Simulation packet: carries the timestamps needed by the delay taps.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace fpsq::sim {
+
+/// Scheduling class of a packet at a multi-class queue.
+enum class TrafficClass : std::uint8_t {
+  kInteractive = 0,  ///< gaming (high priority / guaranteed WFQ share)
+  kElastic = 1,      ///< background data
+};
+
+struct SimPacket {
+  std::uint64_t id = 0;
+  std::uint32_t size_bytes = 0;
+  trace::Direction direction = trace::Direction::kClientToServer;
+  std::uint16_t flow_id = 0;
+  std::uint32_t burst_id = trace::PacketRecord::kNoBurst;
+  TrafficClass traffic_class = TrafficClass::kInteractive;
+
+  double created_s = 0.0;     ///< emission instant at the source
+  double enqueued_s = 0.0;    ///< last enqueue instant (set by Link)
+  double burst_start_s = 0.0; ///< burst emission instant (downstream)
+
+  [[nodiscard]] double size_bits() const noexcept {
+    return 8.0 * static_cast<double>(size_bytes);
+  }
+};
+
+}  // namespace fpsq::sim

@@ -1,0 +1,128 @@
+#include "sim/queues.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fpsq::sim {
+
+void FifoQueue::enqueue(SimPacket packet) { q_.push_back(std::move(packet)); }
+
+std::optional<SimPacket> FifoQueue::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  SimPacket p = std::move(q_.front());
+  q_.pop_front();
+  return p;
+}
+
+std::size_t FifoQueue::size() const { return q_.size(); }
+
+void HolPriorityQueue::enqueue(SimPacket packet) {
+  if (packet.traffic_class == TrafficClass::kInteractive) {
+    high_.push_back(std::move(packet));
+  } else {
+    low_.push_back(std::move(packet));
+  }
+}
+
+std::optional<SimPacket> HolPriorityQueue::dequeue() {
+  if (!high_.empty()) {
+    SimPacket p = std::move(high_.front());
+    high_.pop_front();
+    return p;
+  }
+  if (!low_.empty()) {
+    SimPacket p = std::move(low_.front());
+    low_.pop_front();
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::size_t HolPriorityQueue::size() const {
+  return high_.size() + low_.size();
+}
+
+WfqQueue::WfqQueue(double interactive_weight, double elastic_weight)
+    : weight_{interactive_weight, elastic_weight} {
+  if (!(interactive_weight > 0.0) || !(elastic_weight > 0.0)) {
+    throw std::invalid_argument("WfqQueue: weights must be positive");
+  }
+}
+
+void WfqQueue::enqueue(SimPacket packet) {
+  const auto cls = static_cast<std::size_t>(packet.traffic_class);
+  const double start = std::max(virtual_time_, last_finish_[cls]);
+  const double finish = start + packet.size_bits() / weight_[cls];
+  last_finish_[cls] = finish;
+  q_[cls].push_back({std::move(packet), finish});
+}
+
+std::optional<SimPacket> WfqQueue::dequeue() {
+  int pick = -1;
+  for (int c = 0; c < 2; ++c) {
+    if (q_[c].empty()) continue;
+    if (pick < 0 ||
+        q_[c].front().finish_tag <
+            q_[static_cast<std::size_t>(pick)].front().finish_tag) {
+      pick = c;
+    }
+  }
+  if (pick < 0) return std::nullopt;
+  auto& chosen = q_[static_cast<std::size_t>(pick)];
+  Tagged t = std::move(chosen.front());
+  chosen.pop_front();
+  virtual_time_ = t.finish_tag;
+  if (q_[0].empty() && q_[1].empty()) {
+    // System idle: reset the virtual clock to avoid unbounded growth.
+    virtual_time_ = 0.0;
+    last_finish_[0] = 0.0;
+    last_finish_[1] = 0.0;
+  }
+  return std::move(t.packet);
+}
+
+std::size_t WfqQueue::size() const { return q_[0].size() + q_[1].size(); }
+
+BoundedQueue::BoundedQueue(std::unique_ptr<QueueDiscipline> inner,
+                           std::size_t capacity, DropFn on_drop)
+    : inner_(std::move(inner)), capacity_(capacity),
+      on_drop_(std::move(on_drop)) {
+  if (!inner_) {
+    throw std::invalid_argument("BoundedQueue: null inner discipline");
+  }
+  if (capacity_ == 0) {
+    throw std::invalid_argument("BoundedQueue: capacity must be >= 1");
+  }
+}
+
+void BoundedQueue::enqueue(SimPacket packet) {
+  if (inner_->size() >= capacity_) {
+    ++drops_;
+    if (on_drop_) {
+      on_drop_(packet);
+    }
+    return;
+  }
+  inner_->enqueue(std::move(packet));
+}
+
+std::optional<SimPacket> BoundedQueue::dequeue() {
+  return inner_->dequeue();
+}
+
+std::size_t BoundedQueue::size() const { return inner_->size(); }
+
+std::unique_ptr<QueueDiscipline> make_fifo() {
+  return std::make_unique<FifoQueue>();
+}
+
+std::unique_ptr<QueueDiscipline> make_hol_priority() {
+  return std::make_unique<HolPriorityQueue>();
+}
+
+std::unique_ptr<QueueDiscipline> make_wfq(double interactive_weight,
+                                          double elastic_weight) {
+  return std::make_unique<WfqQueue>(interactive_weight, elastic_weight);
+}
+
+}  // namespace fpsq::sim

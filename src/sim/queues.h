@@ -1,0 +1,117 @@
+// Queue disciplines for output links (Section 1 of the paper): plain FIFO,
+// non-preemptive head-of-line priority, and a 2-class weighted fair queue
+// (self-clocked fair queueing approximation of WFQ). The paper's analysis
+// studies the interactive class in isolation, which WFQ/priority justify;
+// the simulator lets us check that claim with explicit elastic cross
+// traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/packet.h"
+
+namespace fpsq::sim {
+
+/// Interface of a work-conserving queue discipline.
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  virtual void enqueue(SimPacket packet) = 0;
+
+  /// Next packet to serve, or nullopt when empty.
+  [[nodiscard]] virtual std::optional<SimPacket> dequeue() = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+};
+
+/// First-in first-out across all classes.
+class FifoQueue final : public QueueDiscipline {
+ public:
+  void enqueue(SimPacket packet) override;
+  [[nodiscard]] std::optional<SimPacket> dequeue() override;
+  [[nodiscard]] std::size_t size() const override;
+
+ private:
+  std::deque<SimPacket> q_;
+};
+
+/// Non-preemptive head-of-line priority: interactive packets always go
+/// first; an elastic packet already in service is not interrupted (the
+/// Link enforces non-preemption by construction).
+class HolPriorityQueue final : public QueueDiscipline {
+ public:
+  void enqueue(SimPacket packet) override;
+  [[nodiscard]] std::optional<SimPacket> dequeue() override;
+  [[nodiscard]] std::size_t size() const override;
+
+ private:
+  std::deque<SimPacket> high_;
+  std::deque<SimPacket> low_;
+};
+
+/// Two-class self-clocked fair queueing (SCFQ), the standard practical
+/// approximation of WFQ: packets get virtual finish tags
+/// F = max(V, F_prev_class) + size/weight and are served in tag order;
+/// the virtual time V is the tag of the packet last dequeued.
+class WfqQueue final : public QueueDiscipline {
+ public:
+  /// @param interactive_weight, elastic_weight  positive WFQ weights
+  WfqQueue(double interactive_weight, double elastic_weight);
+
+  void enqueue(SimPacket packet) override;
+  [[nodiscard]] std::optional<SimPacket> dequeue() override;
+  [[nodiscard]] std::size_t size() const override;
+
+ private:
+  struct Tagged {
+    SimPacket packet;
+    double finish_tag;
+  };
+
+  double weight_[2];
+  double last_finish_[2] = {0.0, 0.0};
+  double virtual_time_ = 0.0;
+  std::deque<Tagged> q_[2];
+};
+
+/// Finite-buffer decorator: tail-drops arriving packets when the inner
+/// discipline already holds `capacity` packets, counting the losses.
+/// Models the bounded queues real access nodes have — the paper's delay
+/// bounds implicitly assume buffers large enough not to drop, which this
+/// class lets the simulator verify.
+class BoundedQueue final : public QueueDiscipline {
+ public:
+  /// Called with the dropped packet.
+  using DropFn = std::function<void(const SimPacket&)>;
+
+  BoundedQueue(std::unique_ptr<QueueDiscipline> inner,
+               std::size_t capacity, DropFn on_drop = nullptr);
+
+  void enqueue(SimPacket packet) override;
+  [[nodiscard]] std::optional<SimPacket> dequeue() override;
+  [[nodiscard]] std::size_t size() const override;
+
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::unique_ptr<QueueDiscipline> inner_;
+  std::size_t capacity_;
+  DropFn on_drop_;
+  std::uint64_t drops_ = 0;
+};
+
+/// Factory helpers.
+[[nodiscard]] std::unique_ptr<QueueDiscipline> make_fifo();
+[[nodiscard]] std::unique_ptr<QueueDiscipline> make_hol_priority();
+[[nodiscard]] std::unique_ptr<QueueDiscipline> make_wfq(
+    double interactive_weight, double elastic_weight);
+
+}  // namespace fpsq::sim

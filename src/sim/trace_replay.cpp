@@ -1,0 +1,130 @@
+#include "sim/trace_replay.h"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/event_kernel.h"
+#include "sim/link.h"
+#include "sim/queues.h"
+
+namespace fpsq::sim {
+
+TraceReplayResult replay_trace(const trace::Trace& trace,
+                               const TraceReplayConfig& cfg) {
+  if (trace.empty()) {
+    throw std::invalid_argument("replay_trace: empty trace");
+  }
+  if (!(cfg.uplink_bps > 0.0) || !(cfg.downlink_bps > 0.0) ||
+      !(cfg.bottleneck_bps > 0.0)) {
+    throw std::invalid_argument("replay_trace: rates must be positive");
+  }
+
+  Simulator sim;
+  TraceReplayResult result;
+  result.upstream_wait = DelayTap{cfg.warmup_s, cfg.store_samples};
+  result.upstream_total = DelayTap{cfg.warmup_s, cfg.store_samples};
+  result.downstream_sojourn = DelayTap{cfg.warmup_s, cfg.store_samples};
+  result.downstream_total = DelayTap{cfg.warmup_s, cfg.store_samples};
+
+  auto make_bounded = [&cfg](std::uint64_t* drops)
+      -> std::unique_ptr<QueueDiscipline> {
+    if (cfg.bottleneck_buffer_packets == 0) {
+      return make_fifo();
+    }
+    return std::make_unique<BoundedQueue>(
+        make_fifo(), cfg.bottleneck_buffer_packets,
+        [drops](const SimPacket&) { ++*drops; });
+  };
+
+  // Downstream: bottleneck -> per-client downlinks.
+  std::map<std::uint16_t, std::unique_ptr<Link>> downlinks;
+  auto downlink_for = [&](std::uint16_t flow) -> Link& {
+    auto it = downlinks.find(flow);
+    if (it == downlinks.end()) {
+      it = downlinks
+               .emplace(flow,
+                        std::make_unique<Link>(
+                            sim, cfg.downlink_bps, make_fifo(),
+                            [&sim, &result](SimPacket&& p) {
+                              result.downstream_total.record(
+                                  sim.now(), sim.now() - p.created_s);
+                            }))
+               .first;
+    }
+    return *it->second;
+  };
+  Link down_bottleneck{
+      sim, cfg.bottleneck_bps,
+      make_bounded(&result.downstream_drops),
+      [&sim, &result, &downlink_for](SimPacket&& p) {
+        result.downstream_sojourn.record(sim.now(),
+                                         sim.now() - p.created_s);
+        ++result.downstream_packets;
+        downlink_for(p.flow_id).send(std::move(p));
+      }};
+
+  // Upstream: per-client uplinks -> aggregation bottleneck.
+  Link up_bottleneck{sim, cfg.bottleneck_bps,
+                     make_bounded(&result.upstream_drops),
+                     [&sim, &result](SimPacket&& p) {
+                       result.upstream_total.record(
+                           sim.now(), sim.now() - p.created_s);
+                       ++result.upstream_packets;
+                     }};
+  up_bottleneck.set_wait_observer(
+      [&sim, &result](const SimPacket&, double wait) {
+        result.upstream_wait.record(sim.now(), wait);
+      });
+  std::map<std::uint16_t, std::unique_ptr<Link>> uplinks;
+  auto uplink_for = [&](std::uint16_t flow) -> Link& {
+    auto it = uplinks.find(flow);
+    if (it == uplinks.end()) {
+      it = uplinks
+               .emplace(flow, std::make_unique<Link>(
+                                  sim, cfg.uplink_bps, make_fifo(),
+                                  [&up_bottleneck](SimPacket&& p) {
+                                    up_bottleneck.send(std::move(p));
+                                  }))
+               .first;
+    }
+    return *it->second;
+  };
+
+  // Schedule every record at its capture timestamp (rebased to 0).
+  const double t0 = trace.records().front().time_s;
+  double horizon = 0.0;
+  std::uint64_t id = 0;
+  for (const auto& r : trace.records()) {
+    const double when = r.time_s - t0;
+    if (when < horizon - 1e-9) {
+      throw std::invalid_argument(
+          "replay_trace: trace not time-ordered (sort_by_time first)");
+    }
+    horizon = std::max(horizon, when);
+    SimPacket proto;
+    proto.id = id++;
+    proto.size_bytes = r.size_bytes;
+    proto.direction = r.direction;
+    proto.flow_id = r.flow_id;
+    proto.burst_id = r.burst_id;
+    if (r.direction == trace::Direction::kClientToServer) {
+      sim.schedule_at(when, [&sim, &uplink_for, proto]() mutable {
+        proto.created_s = sim.now();
+        uplink_for(proto.flow_id).send(std::move(proto));
+      });
+    } else {
+      sim.schedule_at(when, [&sim, &down_bottleneck, proto]() mutable {
+        proto.created_s = sim.now();
+        proto.burst_start_s = sim.now();
+        down_bottleneck.send(std::move(proto));
+      });
+    }
+  }
+  // Run past the horizon so queued work drains.
+  sim.run_until(horizon + 60.0);
+  result.events = sim.events_executed();
+  return result;
+}
+
+}  // namespace fpsq::sim

@@ -1,0 +1,43 @@
+// Trace-driven simulation: replays a recorded packet trace (synthetic,
+// CSV, or pcap-imported) through the Figure-2 access topology and
+// measures the queueing delays the recorded traffic *would* experience on
+// a given DSL/aggregation configuration. This answers the practical
+// question behind the paper — "what ping would this real game session
+// see on my network?" — without fitting any model at all.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/measurement.h"
+#include "trace/trace.h"
+
+namespace fpsq::sim {
+
+struct TraceReplayConfig {
+  double uplink_bps = 128e3;     ///< per-client access uplink R_up
+  double downlink_bps = 1024e3;  ///< per-client access downlink R_down
+  double bottleneck_bps = 5e6;   ///< shared gaming capacity C
+  double warmup_s = 0.0;         ///< measurement cutoff (trace time)
+  bool store_samples = true;
+  /// Bottleneck queue bound per direction (0 = unbounded).
+  std::size_t bottleneck_buffer_packets = 0;
+};
+
+struct TraceReplayResult {
+  DelayTap upstream_wait;     ///< aggregation-queue wait (client packets)
+  DelayTap upstream_total;    ///< emission -> server arrival
+  DelayTap downstream_sojourn;///< bottleneck arrival -> serialization done
+  DelayTap downstream_total;  ///< bottleneck arrival -> client delivery
+  std::uint64_t upstream_packets = 0;
+  std::uint64_t downstream_packets = 0;
+  std::uint64_t upstream_drops = 0;
+  std::uint64_t downstream_drops = 0;
+  std::uint64_t events = 0;
+};
+
+/// Replays the trace (which must be time-ordered) to completion.
+/// @throws std::invalid_argument on an empty trace or bad rates.
+[[nodiscard]] TraceReplayResult replay_trace(const trace::Trace& trace,
+                                             const TraceReplayConfig& config);
+
+}  // namespace fpsq::sim

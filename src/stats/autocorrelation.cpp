@@ -1,0 +1,58 @@
+#include "stats/autocorrelation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsq::stats {
+
+std::vector<double> autocorrelation(std::span<const double> samples,
+                                    std::size_t max_lag) {
+  const std::size_t n = samples.size();
+  if (n < 2 || max_lag >= n) {
+    throw std::invalid_argument(
+        "autocorrelation: need >= 2 samples and max_lag < n");
+  }
+  double mean = 0.0;
+  for (double x : samples) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double x : samples) var += (x - mean) * (x - mean);
+  std::vector<double> acf(max_lag + 1, 0.0);
+  // (Numerically) constant series: define acf as the delta function. The
+  // threshold absorbs the rounding of the mean itself.
+  const double var_floor = 1e-20 * static_cast<double>(n) *
+                           (mean * mean + 1.0);
+  if (var <= var_floor) {
+    acf[0] = 1.0;
+    return acf;
+  }
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      acc += (samples[i] - mean) * (samples[i + k] - mean);
+    }
+    acf[k] = acc / var;
+  }
+  return acf;
+}
+
+double effective_sample_size(std::span<const double> samples,
+                             std::size_t max_lag) {
+  const std::size_t n = samples.size();
+  if (n < 4) {
+    throw std::invalid_argument("effective_sample_size: need >= 4 samples");
+  }
+  const std::size_t lag = std::min(max_lag, n / 2);
+  const auto acf = autocorrelation(samples, lag);
+  // Geyer: accumulate Gamma_k = acf(2k) + acf(2k+1) while positive.
+  double tau = 1.0;  // 1 + 2 sum acf
+  for (std::size_t k = 1; k + 1 <= lag; k += 2) {
+    const double pair = acf[k] + acf[k + 1];
+    if (pair <= 0.0) break;
+    tau += 2.0 * pair;
+  }
+  return static_cast<double>(n) / tau;
+}
+
+}  // namespace fpsq::stats

@@ -1,0 +1,26 @@
+// Autocorrelation analysis for simulation output: the delay samples a
+// queueing simulation emits are serially correlated (burst structure,
+// busy periods), so naive CLT error bars lie. This module estimates the
+// autocorrelation function and the effective sample size
+//     ESS = n / (1 + 2 sum_k acf(k)),
+// which the validation harness uses to report honest uncertainty.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpsq::stats {
+
+/// Sample autocorrelation at lags 0..max_lag (acf[0] == 1).
+/// @throws std::invalid_argument for fewer than 2 samples or
+///         max_lag >= sample count
+[[nodiscard]] std::vector<double> autocorrelation(
+    std::span<const double> samples, std::size_t max_lag);
+
+/// Effective sample size via Geyer's initial-positive-sequence rule:
+/// sum successive lag pairs until a pair sum turns non-positive.
+[[nodiscard]] double effective_sample_size(std::span<const double> samples,
+                                           std::size_t max_lag = 1000);
+
+}  // namespace fpsq::stats

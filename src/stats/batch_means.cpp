@@ -1,0 +1,64 @@
+#include "stats/batch_means.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsq::stats {
+
+namespace {
+// Two-sided 97.5% Student-t critical values for small df; converges to the
+// normal 1.96 for large df.
+double t_crit_975(std::size_t df) {
+  static constexpr double table[] = {12.706, 4.303, 3.182, 2.776, 2.571,
+                                     2.447,  2.365, 2.306, 2.262, 2.228,
+                                     2.201,  2.179, 2.160, 2.145, 2.131,
+                                     2.120,  2.110, 2.101, 2.093, 2.086,
+                                     2.080,  2.074, 2.069, 2.064, 2.060,
+                                     2.056,  2.052, 2.048, 2.045, 2.042};
+  if (df == 0) throw std::logic_error("t_crit_975: df == 0");
+  if (df <= 30) return table[df - 1];
+  if (df <= 60) return 2.0;
+  return 1.96;
+}
+}  // namespace
+
+BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("BatchMeans: batch_size must be >= 1");
+  }
+}
+
+void BatchMeans::add(double x) {
+  acc_ += x;
+  if (++in_batch_ == batch_size_) {
+    means_.push_back(acc_ / static_cast<double>(batch_size_));
+    acc_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+double BatchMeans::mean() const {
+  if (means_.empty()) {
+    throw std::logic_error("BatchMeans::mean: no complete batches");
+  }
+  double s = 0.0;
+  for (double m : means_) s += m;
+  return s / static_cast<double>(means_.size());
+}
+
+double BatchMeans::half_width_95() const {
+  const std::size_t b = means_.size();
+  if (b < 2) {
+    throw std::logic_error("BatchMeans::half_width_95: need >= 2 batches");
+  }
+  const double m = mean();
+  double ss = 0.0;
+  for (double v : means_) {
+    const double d = v - m;
+    ss += d * d;
+  }
+  const double var = ss / static_cast<double>(b - 1);
+  return t_crit_975(b - 1) * std::sqrt(var / static_cast<double>(b));
+}
+
+}  // namespace fpsq::stats

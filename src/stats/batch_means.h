@@ -1,0 +1,34 @@
+// Batch-means confidence intervals for steady-state simulation output,
+// so model-vs-simulation comparisons can report statistical error bars.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fpsq::stats {
+
+/// Collects observations into fixed-size batches and reports a Student-t
+/// confidence interval for the steady-state mean from the batch means.
+class BatchMeans {
+ public:
+  /// @param batch_size  observations per batch (>= 1)
+  explicit BatchMeans(std::size_t batch_size);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t batches() const noexcept {
+    return means_.size();
+  }
+  [[nodiscard]] double mean() const;
+  /// Half-width of the (approximately) 95% CI for the mean; requires at
+  /// least two complete batches.
+  [[nodiscard]] double half_width_95() const;
+
+ private:
+  std::size_t batch_size_;
+  std::size_t in_batch_ = 0;
+  double acc_ = 0.0;
+  std::vector<double> means_;
+};
+
+}  // namespace fpsq::stats

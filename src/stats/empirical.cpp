@@ -1,0 +1,96 @@
+#include "stats/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fpsq::stats {
+
+Empirical::Empirical(std::vector<double> samples)
+    : data_(std::move(samples)), sorted_(false) {
+  finalize();
+}
+
+void Empirical::add(double x) {
+  data_.push_back(x);
+  sorted_ = false;
+}
+
+void Empirical::finalize() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+double Empirical::cdf(double x) const {
+  if (data_.empty()) {
+    throw std::logic_error("Empirical::cdf: no samples");
+  }
+  finalize();
+  const auto it = std::upper_bound(data_.begin(), data_.end(), x);
+  return static_cast<double>(it - data_.begin()) /
+         static_cast<double>(data_.size());
+}
+
+double Empirical::tdf(double x) const { return 1.0 - cdf(x); }
+
+double Empirical::quantile(double p) const {
+  if (data_.empty()) {
+    throw std::logic_error("Empirical::quantile: no samples");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::domain_error("Empirical::quantile: p must be in [0, 1]");
+  }
+  finalize();
+  const double h = p * (static_cast<double>(data_.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, data_.size() - 1);
+  const double frac = h - std::floor(h);
+  return data_[lo] + frac * (data_[hi] - data_[lo]);
+}
+
+double Empirical::mean() const {
+  if (data_.empty()) {
+    throw std::logic_error("Empirical::mean: no samples");
+  }
+  return std::accumulate(data_.begin(), data_.end(), 0.0) /
+         static_cast<double>(data_.size());
+}
+
+double Empirical::min() const {
+  finalize();
+  if (data_.empty()) throw std::logic_error("Empirical::min: no samples");
+  return data_.front();
+}
+
+double Empirical::max() const {
+  finalize();
+  if (data_.empty()) throw std::logic_error("Empirical::max: no samples");
+  return data_.back();
+}
+
+std::span<const double> Empirical::sorted() const {
+  finalize();
+  return {data_.data(), data_.size()};
+}
+
+double Empirical::ks_distance(
+    const std::function<double(double)>& model_cdf) const {
+  if (data_.empty()) {
+    throw std::logic_error("Empirical::ks_distance: no samples");
+  }
+  finalize();
+  const double n = static_cast<double>(data_.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double f = model_cdf(data_[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+}  // namespace fpsq::stats

@@ -1,0 +1,46 @@
+// Empirical distribution built from a stored sample: exact ECDF, TDF and
+// quantiles. Used for simulator-vs-model comparisons and the Figure-1
+// empirical burst-size tail.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace fpsq::stats {
+
+class Empirical {
+ public:
+  Empirical() = default;
+  /// Takes a copy of the samples and sorts it.
+  explicit Empirical(std::vector<double> samples);
+
+  void add(double x);
+  /// Sorts pending samples; called lazily by the query methods.
+  void finalize() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  /// Empirical P(X <= x).
+  [[nodiscard]] double cdf(double x) const;
+  /// Empirical P(X > x).
+  [[nodiscard]] double tdf(double x) const;
+  /// Type-7 (linear interpolation) sample quantile, p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// The sorted sample (finalizes first).
+  [[nodiscard]] std::span<const double> sorted() const;
+
+  /// Kolmogorov–Smirnov distance against a model cdf.
+  [[nodiscard]] double ks_distance(
+      const std::function<double(double)>& model_cdf) const;
+
+ private:
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace fpsq::stats

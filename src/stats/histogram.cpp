@@ -1,0 +1,59 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsq::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram: requires lo < hi and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    return;
+  }
+  if (x >= hi_) {
+    ++over_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge guard
+  ++counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range("Histogram::bin_center");
+  }
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::densities() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ == 0) return d;
+  const double norm = 1.0 / (static_cast<double>(total_) * width_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d[i] = static_cast<double>(counts_[i]) * norm;
+  }
+  return d;
+}
+
+std::vector<double> Histogram::tdf() const {
+  std::vector<double> t(counts_.size(), 0.0);
+  if (total_ == 0) return t;
+  std::uint64_t above = over_;
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    t[i] = static_cast<double>(above) / static_cast<double>(total_);
+    above += counts_[i];
+  }
+  return t;
+}
+
+}  // namespace fpsq::stats

@@ -1,0 +1,46 @@
+// Fixed-bin histogram with density and TDF export, feeding the fitting
+// routines (Färber's least-squares pdf fit, the Figure-1 tail fit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fpsq::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); samples outside are counted in under/
+  /// overflow and excluded from density export.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return over_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Density estimate at each bin center: count / (total * width).
+  /// Total includes under/overflow so densities integrate to <= 1.
+  [[nodiscard]] std::vector<double> densities() const;
+
+  /// Empirical tail distribution P(X > bin upper edge) for each bin,
+  /// including the overflow mass.
+  [[nodiscard]] std::vector<double> tdf() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+};
+
+}  // namespace fpsq::stats

@@ -1,0 +1,39 @@
+// Streaming summary statistics (Welford), used by the trace analyzer and
+// the simulator's delay taps to report mean / CoV exactly as Section 2.2
+// reports them.
+#pragma once
+
+#include <cstdint>
+
+namespace fpsq::stats {
+
+/// Numerically-stable streaming accumulator for mean, variance, extrema.
+class Moments {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Coefficient of variation stddev/mean; 0 when the mean is 0.
+  [[nodiscard]] double cov() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (parallel Welford combine).
+  void merge(const Moments& other) noexcept;
+
+  void reset() noexcept { *this = Moments{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace fpsq::stats

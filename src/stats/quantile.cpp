@@ -1,0 +1,85 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsq::stats {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("P2Quantile: p must be in (0, 1)");
+  }
+  dn_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    q_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (int i = 0; i < 5; ++i) {
+        n_[i] = static_cast<double>(i);
+        np_[i] = 4.0 * dn_[i];
+      }
+    }
+    return;
+  }
+  ++count_;
+  // Find cell k such that q_[k] <= x < q_[k+1]; adjust extremes.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+  // Adjust interior markers by parabolic (or linear) interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double s = d >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double qp =
+          q_[i] + s / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        // Linear fallback.
+        const int j = i + static_cast<int>(s);
+        q_[i] += s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) {
+    throw std::logic_error("P2Quantile::value: no samples");
+  }
+  if (count_ < 5) {
+    // Exact small-sample quantile.
+    std::array<double, 5> tmp = q_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<long>(count_));
+    const double h = p_ * (static_cast<double>(count_) - 1.0);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = std::min<std::size_t>(lo + 1, count_ - 1);
+    return tmp[lo] + (h - std::floor(h)) * (tmp[hi] - tmp[lo]);
+  }
+  return q_[2];
+}
+
+}  // namespace fpsq::stats

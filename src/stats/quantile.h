@@ -1,0 +1,33 @@
+// Streaming quantile estimation (P-squared algorithm of Jain & Chlamtac).
+// Long simulation runs need 99.999% delay quantiles without storing every
+// sample; P² keeps five markers per tracked probability.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fpsq::stats {
+
+/// P² estimator for a single quantile probability p.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  /// Current estimate; exact while fewer than 5 samples were seen.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double probability() const noexcept { return p_; }
+
+ private:
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> q_{};   // marker heights
+  std::array<double, 5> n_{};   // marker positions
+  std::array<double, 5> np_{};  // desired positions
+  std::array<double, 5> dn_{};  // desired position increments
+};
+
+}  // namespace fpsq::stats

@@ -1,0 +1,76 @@
+#include "trace/analyzer.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace fpsq::trace {
+
+TrafficCharacteristics analyze(const Trace& trace,
+                               const AnalyzerOptions& options) {
+  TrafficCharacteristics out;
+
+  // Upstream: packet sizes pooled; IATs computed per client flow so that
+  // interleaving of clients does not contaminate the per-client law.
+  std::map<std::uint16_t, double> last_up_time;
+  for (const auto& r : trace.records()) {
+    if (r.direction != Direction::kClientToServer) continue;
+    out.client_packet_size_bytes.add(static_cast<double>(r.size_bytes));
+    const auto it = last_up_time.find(r.flow_id);
+    if (it != last_up_time.end()) {
+      out.client_iat_ms.add((r.time_s - it->second) * 1e3);
+      it->second = r.time_s;
+    } else {
+      last_up_time.emplace(r.flow_id, r.time_s);
+    }
+  }
+
+  // Downstream: per-packet sizes, then burst structure.
+  const auto down = trace.filter(Direction::kServerToClient);
+  for (const auto& r : down) {
+    out.server_packet_size_bytes.add(static_cast<double>(r.size_bytes));
+  }
+  if (!down.empty()) {
+    out.bursts = group_bursts(down, options.grouping,
+                              options.gap_threshold_s);
+    double prev_start = 0.0;
+    bool have_prev = false;
+    for (const auto& b : out.bursts) {
+      out.burst_size_bytes.add(static_cast<double>(b.total_bytes));
+      out.burst_packet_count.add(static_cast<double>(b.packets));
+      if (b.packets >= 2) {
+        out.within_burst_size_cov.add(b.size_cov);
+      }
+      if (have_prev) {
+        out.burst_iat_ms.add((b.start_s - prev_start) * 1e3);
+      }
+      prev_start = b.start_s;
+      have_prev = true;
+    }
+  }
+  return out;
+}
+
+std::vector<dist::TdfPoint> burst_size_tdf(const std::vector<Burst>& bursts,
+                                           double x_max,
+                                           std::size_t points) {
+  if (bursts.empty()) {
+    throw std::invalid_argument("burst_size_tdf: no bursts");
+  }
+  if (!(x_max > 0.0) || points < 2) {
+    throw std::invalid_argument("burst_size_tdf: bad grid");
+  }
+  stats::Empirical emp;
+  for (const auto& b : bursts) {
+    emp.add(static_cast<double>(b.total_bytes));
+  }
+  std::vector<dist::TdfPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = x_max * static_cast<double>(i) /
+                     static_cast<double>(points - 1);
+    out.push_back({x, emp.tdf(x)});
+  }
+  return out;
+}
+
+}  // namespace fpsq::trace

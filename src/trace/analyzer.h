@@ -1,0 +1,55 @@
+// Section-2.2 style traffic analysis: given a raw packet trace, recompute
+// the characteristics the paper tabulates (Tables 1-3) — packet-size and
+// inter-arrival statistics per direction, burst statistics for the
+// downstream, and the empirical burst-size TDF of Figure 1.
+#pragma once
+
+#include <vector>
+
+#include "dist/fitting.h"
+#include "stats/empirical.h"
+#include "stats/moments.h"
+#include "trace/burst.h"
+#include "trace/trace.h"
+
+namespace fpsq::trace {
+
+/// Everything the paper's Tables 1-3 report, measured from a trace.
+struct TrafficCharacteristics {
+  // Client -> server (upstream).
+  stats::Moments client_packet_size_bytes;
+  /// Inter-arrival times per client flow, pooled over flows [ms].
+  stats::Moments client_iat_ms;
+
+  // Server -> client (downstream).
+  stats::Moments server_packet_size_bytes;
+  /// Inter-arrival times between burst starts [ms].
+  stats::Moments burst_iat_ms;
+  /// Total bytes per burst.
+  stats::Moments burst_size_bytes;
+  /// Packets per burst.
+  stats::Moments burst_packet_count;
+  /// Distribution over bursts of the within-burst packet-size CoV
+  /// (the paper reports this ranges 0.05-0.11 for UT2003).
+  stats::Moments within_burst_size_cov;
+
+  /// The reconstructed bursts (for TDF export and further analysis).
+  std::vector<Burst> bursts;
+};
+
+struct AnalyzerOptions {
+  BurstGrouping grouping = BurstGrouping::kByGapThreshold;
+  /// Gap starting a new burst (kByGapThreshold only).
+  double gap_threshold_s = 5e-3;
+};
+
+/// Analyzes a trace. The trace must be time-ordered (call sort_by_time()).
+[[nodiscard]] TrafficCharacteristics analyze(const Trace& trace,
+                                             const AnalyzerOptions& options);
+
+/// Empirical burst-size TDF sampled on a uniform grid over
+/// [0, x_max] (Figure 1's x-axis runs 0..4000 bytes).
+[[nodiscard]] std::vector<dist::TdfPoint> burst_size_tdf(
+    const std::vector<Burst>& bursts, double x_max, std::size_t points);
+
+}  // namespace fpsq::trace

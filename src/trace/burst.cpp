@@ -1,0 +1,89 @@
+#include "trace/burst.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "stats/moments.h"
+
+namespace fpsq::trace {
+
+namespace {
+
+Burst finish_burst(double start, double end, const stats::Moments& sizes) {
+  Burst b;
+  b.start_s = start;
+  b.end_s = end;
+  b.packets = static_cast<std::uint32_t>(sizes.count());
+  b.total_bytes = static_cast<std::uint64_t>(std::llround(sizes.sum()));
+  b.size_mean = sizes.mean();
+  b.size_cov = sizes.cov();
+  return b;
+}
+
+}  // namespace
+
+std::vector<Burst> group_bursts(const std::vector<PacketRecord>& records,
+                                BurstGrouping grouping,
+                                double gap_threshold_s) {
+  std::vector<Burst> bursts;
+  if (records.empty()) return bursts;
+
+  if (grouping == BurstGrouping::kByBurstId) {
+    // burst_ids may interleave only within a tick; a simple map keyed by id
+    // keeps this robust to jitter reordering.
+    std::map<std::uint32_t, std::pair<std::pair<double, double>,
+                                      stats::Moments>> acc;
+    for (const auto& r : records) {
+      if (r.burst_id == PacketRecord::kNoBurst) {
+        throw std::invalid_argument(
+            "group_bursts: record without burst_id under kByBurstId");
+      }
+      auto [it, inserted] = acc.try_emplace(
+          r.burst_id, std::make_pair(std::make_pair(r.time_s, r.time_s),
+                                     stats::Moments{}));
+      auto& [range, sizes] = it->second;
+      if (inserted) {
+        range = {r.time_s, r.time_s};
+      } else {
+        range.first = std::min(range.first, r.time_s);
+        range.second = std::max(range.second, r.time_s);
+      }
+      sizes.add(static_cast<double>(r.size_bytes));
+    }
+    bursts.reserve(acc.size());
+    for (const auto& [id, payload] : acc) {
+      (void)id;
+      bursts.push_back(finish_burst(payload.first.first,
+                                    payload.first.second, payload.second));
+    }
+    return bursts;
+  }
+
+  // Gap-threshold grouping on the time-ordered stream.
+  if (!(gap_threshold_s > 0.0)) {
+    throw std::invalid_argument("group_bursts: gap threshold must be > 0");
+  }
+  double start = records.front().time_s;
+  double last = start;
+  stats::Moments sizes;
+  sizes.add(static_cast<double>(records.front().size_bytes));
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (r.time_s < last) {
+      throw std::invalid_argument(
+          "group_bursts: records not time-ordered (sort_by_time first)");
+    }
+    if (r.time_s - last > gap_threshold_s) {
+      bursts.push_back(finish_burst(start, last, sizes));
+      sizes.reset();
+      start = r.time_s;
+    }
+    sizes.add(static_cast<double>(r.size_bytes));
+    last = r.time_s;
+  }
+  bursts.push_back(finish_burst(start, last, sizes));
+  return bursts;
+}
+
+}  // namespace fpsq::trace

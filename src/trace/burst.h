@@ -1,0 +1,42 @@
+// Burst grouping for server->client traffic. The game server emits one
+// back-to-back packet per client every tick; on the wire these appear as
+// clusters separated by the (much larger) tick interval. The analyzer can
+// group either by the generator-assigned burst_id, or — like the paper's
+// measurement study — purely from packet timing with a gap threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace fpsq::trace {
+
+/// One reconstructed server burst.
+struct Burst {
+  double start_s = 0.0;           ///< timestamp of the first packet
+  double end_s = 0.0;             ///< timestamp of the last packet
+  std::uint32_t packets = 0;      ///< packets in the burst
+  std::uint64_t total_bytes = 0;  ///< sum of packet sizes
+  double size_mean = 0.0;         ///< mean packet size within the burst
+  double size_cov = 0.0;          ///< packet-size CoV within the burst
+};
+
+/// How to delimit bursts.
+enum class BurstGrouping {
+  kByBurstId,      ///< trust PacketRecord::burst_id (generator traces)
+  kByGapThreshold  ///< new burst when inter-packet gap exceeds a threshold
+};
+
+/// Groups downstream packets (already time-ordered) into bursts.
+///
+/// @param records  server->client records in time order
+/// @param grouping  delimiting strategy
+/// @param gap_threshold_s  minimum gap starting a new burst (used by
+///        kByGapThreshold; a good value sits well below the tick interval
+///        and well above the back-to-back serialization spacing)
+[[nodiscard]] std::vector<Burst> group_bursts(
+    const std::vector<PacketRecord>& records, BurstGrouping grouping,
+    double gap_threshold_s = 5e-3);
+
+}  // namespace fpsq::trace

@@ -1,0 +1,55 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fpsq::trace {
+
+std::string to_string(Direction d) {
+  return d == Direction::kClientToServer ? "client->server"
+                                         : "server->client";
+}
+
+Trace::Trace(std::vector<PacketRecord> records)
+    : records_(std::move(records)) {}
+
+void Trace::add(PacketRecord r) { records_.push_back(r); }
+
+double Trace::duration_s() const {
+  if (records_.size() < 2) return 0.0;
+  return records_.back().time_s - records_.front().time_s;
+}
+
+std::vector<PacketRecord> Trace::filter(Direction d) const {
+  std::vector<PacketRecord> out;
+  for (const auto& r : records_) {
+    if (r.direction == d) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<PacketRecord> Trace::filter(Direction d,
+                                        std::uint16_t flow) const {
+  std::vector<PacketRecord> out;
+  for (const auto& r : records_) {
+    if (r.direction == d && r.flow_id == flow) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Trace::flow_count(Direction d) const {
+  std::set<std::uint16_t> flows;
+  for (const auto& r : records_) {
+    if (r.direction == d) flows.insert(r.flow_id);
+  }
+  return flows.size();
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const PacketRecord& a, const PacketRecord& b) {
+                     return a.time_s < b.time_s;
+                   });
+}
+
+}  // namespace fpsq::trace

@@ -1,0 +1,69 @@
+// Packet trace primitives. A trace is the common currency between the
+// traffic generators, the discrete-event simulator and the Section-2.2
+// analyzer: a time-ordered list of (time, size, direction, flow) records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpsq::trace {
+
+/// Direction of a packet relative to the game server.
+enum class Direction : std::uint8_t {
+  kClientToServer = 0,  ///< upstream
+  kServerToClient = 1,  ///< downstream
+};
+
+[[nodiscard]] std::string to_string(Direction d);
+
+/// One packet observation.
+struct PacketRecord {
+  double time_s = 0.0;          ///< capture timestamp [s]
+  std::uint32_t size_bytes = 0; ///< payload + headers, as measured
+  Direction direction = Direction::kClientToServer;
+  std::uint16_t flow_id = 0;    ///< client index (both directions)
+  /// Server burst the packet belongs to; kNoBurst for upstream packets or
+  /// when the generator does not know (the analyzer can re-derive bursts
+  /// from timing).
+  std::uint32_t burst_id = kNoBurst;
+
+  static constexpr std::uint32_t kNoBurst = 0xFFFFFFFF;
+};
+
+/// A time-ordered packet trace.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<PacketRecord> records);
+
+  void add(PacketRecord r);
+
+  [[nodiscard]] const std::vector<PacketRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Trace duration (last - first timestamp); 0 when < 2 records.
+  [[nodiscard]] double duration_s() const;
+
+  /// Records in the given direction, preserving order.
+  [[nodiscard]] std::vector<PacketRecord> filter(Direction d) const;
+
+  /// Records of a single flow in the given direction.
+  [[nodiscard]] std::vector<PacketRecord> filter(Direction d,
+                                                 std::uint16_t flow) const;
+
+  /// Number of distinct flow ids appearing in the given direction.
+  [[nodiscard]] std::size_t flow_count(Direction d) const;
+
+  /// Sorts records by timestamp (stable). Generators interleave several
+  /// sources; call this before analysis.
+  void sort_by_time();
+
+ private:
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace fpsq::trace

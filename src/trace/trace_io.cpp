@@ -1,0 +1,69 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpsq::trace {
+
+namespace {
+constexpr const char* kHeader = "time_s,size_bytes,direction,flow_id,burst_id";
+}
+
+void write_csv(std::ostream& os, const Trace& trace) {
+  os << kHeader << '\n';
+  // Full double round-trip precision for timestamps.
+  os.precision(17);
+  for (const auto& r : trace.records()) {
+    os << r.time_s << ',' << r.size_bytes << ','
+       << static_cast<int>(r.direction) << ',' << r.flow_id << ','
+       << r.burst_id << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("write_csv_file: cannot open " + path);
+  }
+  write_csv(os, trace);
+}
+
+Trace read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("read_csv: missing or wrong header");
+  }
+  Trace t;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    PacketRecord r;
+    char c1, c2, c3, c4;
+    int dir;
+    std::uint32_t flow;
+    if (!(ls >> r.time_s >> c1 >> r.size_bytes >> c2 >> dir >> c3 >> flow >>
+          c4 >> r.burst_id) ||
+        c1 != ',' || c2 != ',' || c3 != ',' || c4 != ',' ||
+        (dir != 0 && dir != 1) || flow > 0xFFFF) {
+      throw std::runtime_error("read_csv: malformed line " +
+                               std::to_string(line_no));
+    }
+    r.direction = static_cast<Direction>(dir);
+    r.flow_id = static_cast<std::uint16_t>(flow);
+    t.add(r);
+  }
+  return t;
+}
+
+Trace read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("read_csv_file: cannot open " + path);
+  }
+  return read_csv(is);
+}
+
+}  // namespace fpsq::trace

@@ -1,0 +1,21 @@
+// Plain-text trace serialization (CSV with a header line), so generated
+// traces can be inspected, plotted, or re-analyzed outside the library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace fpsq::trace {
+
+/// Writes `time_s,size_bytes,direction,flow_id,burst_id` rows.
+void write_csv(std::ostream& os, const Trace& trace);
+void write_csv_file(const std::string& path, const Trace& trace);
+
+/// Parses a trace previously written by write_csv.
+/// @throws std::runtime_error on malformed input.
+[[nodiscard]] Trace read_csv(std::istream& is);
+[[nodiscard]] Trace read_csv_file(const std::string& path);
+
+}  // namespace fpsq::trace

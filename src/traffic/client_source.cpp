@@ -1,0 +1,63 @@
+#include "traffic/client_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsq::traffic {
+
+ClientSource::ClientSource(std::vector<PeriodicStreamModel> streams,
+                           std::uint16_t flow_id, double start_s,
+                           dist::Rng rng)
+    : flow_id_(flow_id), rng_(rng) {
+  if (streams.empty()) {
+    throw std::invalid_argument("ClientSource: needs at least one stream");
+  }
+  streams_.reserve(streams.size());
+  for (auto& m : streams) {
+    if (!m.iat_ms || !m.size_bytes) {
+      throw std::invalid_argument("ClientSource: null distribution");
+    }
+    StreamState st;
+    // Random phase inside one nominal period.
+    st.next_s = start_s + rng_.uniform01() * m.iat_ms->mean() * 1e-3;
+    st.model = std::move(m);
+    streams_.push_back(std::move(st));
+  }
+}
+
+double ClientSource::next_time() const {
+  double t = streams_.front().next_s;
+  for (const auto& s : streams_) {
+    t = std::min(t, s.next_s);
+  }
+  return t;
+}
+
+trace::PacketRecord ClientSource::pop() {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < streams_.size(); ++i) {
+    if (streams_[i].next_s < streams_[best].next_s) best = i;
+  }
+  auto& s = streams_[best];
+  trace::PacketRecord r;
+  r.time_s = s.next_s;
+  const double size = s.model.size_bytes->sample(rng_);
+  r.size_bytes = static_cast<std::uint32_t>(
+      std::max(1.0, std::round(size)));
+  r.direction = trace::Direction::kClientToServer;
+  r.flow_id = flow_id_;
+  // Advance: IATs must be positive; resample pathological draws.
+  double iat;
+  int guard = 0;
+  do {
+    iat = s.model.iat_ms->sample(rng_);
+  } while (iat <= 0.0 && ++guard < 100);
+  if (iat <= 0.0) {
+    throw std::runtime_error("ClientSource: IAT distribution not positive");
+  }
+  s.next_s += iat * 1e-3;
+  return r;
+}
+
+}  // namespace fpsq::traffic

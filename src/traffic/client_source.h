@@ -1,0 +1,51 @@
+// Client (upstream) traffic source: one or more periodic packet streams
+// per client, per the Section 2.3.1 model — deterministic inter-arrival
+// times and sizes in the idealized case, with arbitrary distributions
+// supported so the measured jitter/CoVs of Tables 1-3 can be reproduced.
+// (Halo needs two concurrent periodic streams per client, Section 2.1.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "trace/trace.h"
+
+namespace fpsq::traffic {
+
+/// A periodic packet stream: IAT and packet-size laws.
+struct PeriodicStreamModel {
+  dist::DistributionPtr iat_ms;      ///< packet inter-arrival time [ms]
+  dist::DistributionPtr size_bytes;  ///< packet size [bytes]
+};
+
+/// Generates the upstream packets of one client as a time-ordered stream.
+///
+/// Each stream starts at `start_s` plus a random phase uniform in its
+/// first inter-arrival time (the paper's "random phasing between the
+/// streams", Section 2.3.1).
+class ClientSource {
+ public:
+  ClientSource(std::vector<PeriodicStreamModel> streams,
+               std::uint16_t flow_id, double start_s, dist::Rng rng);
+
+  /// Timestamp of the next packet this client will emit.
+  [[nodiscard]] double next_time() const;
+
+  /// Emits the next packet and advances the source.
+  [[nodiscard]] trace::PacketRecord pop();
+
+  [[nodiscard]] std::uint16_t flow_id() const noexcept { return flow_id_; }
+
+ private:
+  struct StreamState {
+    PeriodicStreamModel model;
+    double next_s = 0.0;
+  };
+
+  std::vector<StreamState> streams_;
+  std::uint16_t flow_id_;
+  dist::Rng rng_;
+};
+
+}  // namespace fpsq::traffic

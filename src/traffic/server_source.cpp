@@ -1,0 +1,107 @@
+#include "traffic/server_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "dist/lognormal.h"
+
+namespace fpsq::traffic {
+
+ServerSource::ServerSource(ServerTrafficModel model, int n_clients,
+                           double start_s, dist::Rng rng)
+    : model_(std::move(model)), n_clients_(n_clients), rng_(rng) {
+  if (n_clients < 1) {
+    throw std::invalid_argument("ServerSource: needs n_clients >= 1");
+  }
+  if (!model_.burst_iat_ms) {
+    throw std::invalid_argument("ServerSource: null burst IAT law");
+  }
+  if (model_.mode == ServerTrafficModel::SizeMode::kPerPacketIid &&
+      !model_.packet_size_bytes) {
+    throw std::invalid_argument("ServerSource: null packet size law");
+  }
+  if (model_.mode == ServerTrafficModel::SizeMode::kBurstTotal &&
+      (!model_.burst_total_bytes || model_.nominal_clients < 1)) {
+    throw std::invalid_argument("ServerSource: bad burst-total config");
+  }
+  if (!(model_.line_rate_bps > 0.0)) {
+    throw std::invalid_argument("ServerSource: line rate must be > 0");
+  }
+  // Random phase within the first tick.
+  next_s_ = start_s + rng_.uniform01() * model_.burst_iat_ms->mean() * 1e-3;
+}
+
+std::vector<trace::PacketRecord> ServerSource::pop_burst() {
+  std::vector<double> sizes(static_cast<std::size_t>(n_clients_));
+  if (model_.mode == ServerTrafficModel::SizeMode::kPerPacketIid) {
+    for (auto& s : sizes) {
+      s = std::max(1.0, model_.packet_size_bytes->sample(rng_));
+    }
+  } else {
+    // Draw the burst total (scaled to the actual client count), then split
+    // with lognormal weights of the configured within-burst CoV.
+    const double scale = static_cast<double>(n_clients_) /
+                         static_cast<double>(model_.nominal_clients);
+    double total =
+        std::max(1.0, model_.burst_total_bytes->sample(rng_) * scale);
+    double wsum = 0.0;
+    std::vector<double> w(sizes.size());
+    if (model_.within_burst_cov > 0.0) {
+      const dist::Lognormal wlaw =
+          dist::Lognormal::from_mean_cov(1.0, model_.within_burst_cov);
+      for (auto& wi : w) {
+        wi = wlaw.sample(rng_);
+        wsum += wi;
+      }
+    } else {
+      std::fill(w.begin(), w.end(), 1.0);
+      wsum = static_cast<double>(w.size());
+    }
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      sizes[i] = std::max(1.0, total * w[i] / wsum);
+    }
+  }
+
+  // Assign client order (possibly shuffled — Section 2.2).
+  std::vector<std::uint16_t> order(static_cast<std::size_t>(n_clients_));
+  std::iota(order.begin(), order.end(), std::uint16_t{0});
+  if (model_.shuffle_order) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng_.uniform_int(i));
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+
+  // Emit back-to-back at the NIC line rate.
+  std::vector<trace::PacketRecord> burst;
+  burst.reserve(sizes.size());
+  double t = next_s_;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    trace::PacketRecord r;
+    r.time_s = t;
+    r.size_bytes =
+        static_cast<std::uint32_t>(std::max(1.0, std::round(sizes[i])));
+    r.direction = trace::Direction::kServerToClient;
+    r.flow_id = order[i];
+    r.burst_id = burst_id_;
+    burst.push_back(r);
+    t += static_cast<double>(r.size_bytes) * 8.0 / model_.line_rate_bps;
+  }
+  ++burst_id_;
+
+  // Advance the tick clock.
+  double iat;
+  int guard = 0;
+  do {
+    iat = model_.burst_iat_ms->sample(rng_);
+  } while (iat <= 0.0 && ++guard < 100);
+  if (iat <= 0.0) {
+    throw std::runtime_error("ServerSource: IAT law not positive");
+  }
+  next_s_ += iat * 1e-3;
+  return burst;
+}
+
+}  // namespace fpsq::traffic

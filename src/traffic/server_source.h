@@ -1,0 +1,71 @@
+// Server (downstream) traffic source: at (near-)periodic ticks the server
+// emits a burst of back-to-back packets, one per connected client
+// (Section 2, all studies agree on this structure). Two size modes:
+//
+//  * kPerPacketIid   — each packet size drawn iid (Färber's Ext(120, 36));
+//  * kBurstTotal     — the burst *total* is drawn from a burst-size law
+//                      (e.g. the paper's Erlang(K)), then split across the
+//                      per-client packets with a small within-burst
+//                      variation, matching the Section 2.2 observation
+//                      that within-burst packet-size CoV (0.05-0.11) is
+//                      much smaller than the overall CoV (0.28).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "trace/trace.h"
+
+namespace fpsq::traffic {
+
+struct ServerTrafficModel {
+  enum class SizeMode { kPerPacketIid, kBurstTotal };
+
+  dist::DistributionPtr burst_iat_ms;  ///< tick interval law, e.g. Det(60)
+  SizeMode mode = SizeMode::kPerPacketIid;
+
+  /// Per-packet size law (kPerPacketIid).
+  dist::DistributionPtr packet_size_bytes;
+
+  /// Burst-total law (kBurstTotal); interpreted for the *nominal* client
+  /// count `nominal_clients` and scaled linearly for other counts, since
+  /// each client contributes one packet per burst.
+  dist::DistributionPtr burst_total_bytes;
+  int nominal_clients = 1;
+
+  /// Within-burst packet-size CoV (kBurstTotal): packets receive
+  /// lognormal weights with this CoV, normalized to the burst total.
+  double within_burst_cov = 0.08;
+
+  /// Server NIC line rate used to space back-to-back packets [bit/s].
+  double line_rate_bps = 100e6;
+
+  /// Shuffle per-burst packet order (Section 2.2: the order of packets
+  /// within a burst is *not* the same for each burst).
+  bool shuffle_order = true;
+};
+
+/// Generates the downstream bursts for `n_clients` clients.
+class ServerSource {
+ public:
+  ServerSource(ServerTrafficModel model, int n_clients, double start_s,
+               dist::Rng rng);
+
+  /// Timestamp of the next burst's first packet.
+  [[nodiscard]] double next_time() const noexcept { return next_s_; }
+
+  /// Emits one burst (n_clients packets, back-to-back) and advances.
+  [[nodiscard]] std::vector<trace::PacketRecord> pop_burst();
+
+  [[nodiscard]] int n_clients() const noexcept { return n_clients_; }
+
+ private:
+  ServerTrafficModel model_;
+  int n_clients_;
+  double next_s_;
+  std::uint32_t burst_id_ = 0;
+  dist::Rng rng_;
+};
+
+}  // namespace fpsq::traffic

@@ -1,0 +1,43 @@
+#include "traffic/synthetic.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "traffic/client_source.h"
+#include "traffic/server_source.h"
+
+namespace fpsq::traffic {
+
+trace::Trace generate_trace(const GameProfile& profile,
+                            const SyntheticTraceOptions& opt) {
+  if (opt.clients < 1 || !(opt.duration_s > 0.0)) {
+    throw std::invalid_argument("generate_trace: bad options");
+  }
+  dist::Rng master{opt.seed};
+
+  std::vector<ClientSource> clients;
+  clients.reserve(static_cast<std::size_t>(opt.clients));
+  for (int c = 0; c < opt.clients; ++c) {
+    clients.emplace_back(profile.client_streams,
+                         static_cast<std::uint16_t>(c), 0.0,
+                         master.split());
+  }
+  ServerSource server{profile.server, opt.clients, 0.0, master.split()};
+
+  trace::Trace t;
+  // Generate each source independently to the horizon, then merge-sort.
+  for (auto& c : clients) {
+    while (c.next_time() < opt.duration_s) {
+      t.add(c.pop());
+    }
+  }
+  while (server.next_time() < opt.duration_s) {
+    for (auto& r : server.pop_burst()) {
+      t.add(r);
+    }
+  }
+  t.sort_by_time();
+  return t;
+}
+
+}  // namespace fpsq::traffic

@@ -1,0 +1,25 @@
+// Synthetic trace generation: runs a game profile's sources for a given
+// duration and returns the merged, time-ordered packet trace. This stands
+// in for the real measurement campaigns the paper draws on (the UT2003 LAN
+// trace, Färber's Counter-Strike captures, ...) — see DESIGN.md,
+// "Substitutions".
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+#include "traffic/game_profiles.h"
+
+namespace fpsq::traffic {
+
+struct SyntheticTraceOptions {
+  int clients = 12;          ///< active players
+  double duration_s = 360.0; ///< paper's UT trace is six minutes
+  std::uint64_t seed = 0x5eedf00dULL;
+};
+
+/// Generates the merged client+server packet trace of one game session.
+[[nodiscard]] trace::Trace generate_trace(const GameProfile& profile,
+                                          const SyntheticTraceOptions& opt);
+
+}  // namespace fpsq::traffic

@@ -1,0 +1,72 @@
+#include "core/dimensioning.h"
+
+#include <gtest/gtest.h>
+
+namespace fpsq::core {
+namespace {
+
+AccessScenario paper_scenario(int k) {
+  AccessScenario s;  // P_S = 125 B, T = 40 ms, C = 5 Mb/s defaults
+  s.erlang_k = k;
+  return s;
+}
+
+TEST(Dimensioning, PaperSection4Numbers) {
+  // Paper: for P_S = 125 B, T = 40 ms, RTT <= 50 ms the allowable load is
+  // about 20% (K=2), 40% (K=9), 60% (K=20); N_max = 40/80/120.
+  struct Expect {
+    int k;
+    double rho_lo, rho_hi;
+    int n_lo, n_hi;
+  };
+  for (const auto& e : {Expect{2, 0.13, 0.27, 26, 54},
+                        Expect{9, 0.33, 0.48, 66, 96},
+                        Expect{20, 0.48, 0.66, 96, 132}}) {
+    const auto d = dimension_for_rtt(paper_scenario(e.k), 50.0, 1e-5);
+    EXPECT_GE(d.rho_max, e.rho_lo) << "K=" << e.k;
+    EXPECT_LE(d.rho_max, e.rho_hi) << "K=" << e.k;
+    EXPECT_GE(d.n_max_int, e.n_lo) << "K=" << e.k;
+    EXPECT_LE(d.n_max_int, e.n_hi) << "K=" << e.k;
+    EXPECT_NEAR(d.rtt_at_max_ms, 50.0, 0.5) << "K=" << e.k;
+  }
+}
+
+TEST(Dimensioning, MonotoneInBoundAndK) {
+  const auto tight = dimension_for_rtt(paper_scenario(9), 30.0, 1e-5);
+  const auto loose = dimension_for_rtt(paper_scenario(9), 80.0, 1e-5);
+  EXPECT_LT(tight.rho_max, loose.rho_max);
+  const auto k2 = dimension_for_rtt(paper_scenario(2), 50.0, 1e-5);
+  const auto k20 = dimension_for_rtt(paper_scenario(20), 50.0, 1e-5);
+  EXPECT_LT(k2.rho_max, k20.rho_max);
+}
+
+TEST(Dimensioning, InfeasibleBoundGivesZero) {
+  AccessScenario s = paper_scenario(9);
+  s.propagation_ms = 100.0;  // deterministic part alone exceeds 50 ms
+  const auto d = dimension_for_rtt(s, 50.0, 1e-5);
+  EXPECT_DOUBLE_EQ(d.rho_max, 0.0);
+  EXPECT_EQ(d.n_max_int, 0);
+}
+
+TEST(Dimensioning, VeryLooseBoundHitsStabilityCeiling) {
+  const auto d = dimension_for_rtt(paper_scenario(20), 100000.0, 1e-5);
+  // Uplink stability binds at rho_d = 1 for P_S > P_C... here downlink
+  // ceiling minus margin.
+  EXPECT_GT(d.rho_max, 0.95);
+}
+
+TEST(Dimensioning, EqualsEq37Conversion) {
+  const auto d = dimension_for_rtt(paper_scenario(9), 50.0, 1e-5);
+  const AccessScenario s = paper_scenario(9);
+  EXPECT_NEAR(d.n_max, s.clients_for_downlink_load(d.rho_max), 1e-9);
+}
+
+TEST(Dimensioning, GuardsArguments) {
+  EXPECT_THROW(dimension_for_rtt(paper_scenario(9), -1.0, 1e-5),
+               std::invalid_argument);
+  EXPECT_THROW(dimension_for_rtt(paper_scenario(9), 50.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpsq::core

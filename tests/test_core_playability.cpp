@@ -1,0 +1,55 @@
+#include "core/playability.h"
+
+#include <gtest/gtest.h>
+
+namespace fpsq::core {
+namespace {
+
+TEST(Playability, BandsClassifyCorrectly) {
+  EXPECT_EQ(rate_rtt(0.0), Playability::kExcellent);
+  EXPECT_EQ(rate_rtt(50.0), Playability::kExcellent);
+  EXPECT_EQ(rate_rtt(50.1), Playability::kGood);
+  EXPECT_EQ(rate_rtt(100.0), Playability::kGood);
+  EXPECT_EQ(rate_rtt(149.0), Playability::kAcceptable);
+  EXPECT_EQ(rate_rtt(180.0), Playability::kPoor);
+  EXPECT_EQ(rate_rtt(500.0), Playability::kUnplayable);
+  EXPECT_THROW(rate_rtt(-1.0), std::invalid_argument);
+}
+
+TEST(Playability, Names) {
+  EXPECT_EQ(to_string(Playability::kExcellent), "excellent");
+  EXPECT_EQ(to_string(Playability::kUnplayable), "unplayable");
+}
+
+TEST(Playability, BudgetRoundTrip) {
+  for (Playability p : {Playability::kExcellent, Playability::kGood,
+                        Playability::kAcceptable, Playability::kPoor}) {
+    EXPECT_EQ(rate_rtt(rtt_budget_ms(p)), p);
+  }
+  EXPECT_THROW(rtt_budget_ms(Playability::kUnplayable),
+               std::invalid_argument);
+}
+
+TEST(Playability, CustomThresholds) {
+  PlayabilityThresholds t;
+  t.excellent_ms = 30.0;
+  EXPECT_EQ(rate_rtt(40.0, t), Playability::kGood);
+}
+
+TEST(Playability, CapacityTableMonotone) {
+  AccessScenario s;
+  s.erlang_k = 9;
+  const auto table = capacity_by_rating(s);
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[0].rating, Playability::kExcellent);
+  // Looser quality bands must admit at least as many gamers.
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GE(table[i].n_max, table[i - 1].n_max);
+    EXPECT_GE(table[i].rho_max, table[i - 1].rho_max - 1e-9);
+  }
+  // Paper anchor: excellent at K = 9 admits about 80 gamers.
+  EXPECT_NEAR(table[0].n_max, 82, 10);
+}
+
+}  // namespace
+}  // namespace fpsq::core

@@ -1,0 +1,47 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace fpsq::core {
+namespace {
+
+TEST(Report, ContainsAllSectionsAndKeyNumbers) {
+  AccessScenario s;
+  s.erlang_k = 9;
+  ReportOptions opt;
+  opt.n_clients = 80.0;
+  const std::string md = scenario_report_markdown(s, opt);
+  EXPECT_NE(md.find("# FPS ping assessment"), std::string::npos);
+  EXPECT_NE(md.find("## Scenario"), std::string::npos);
+  EXPECT_NE(md.find("## Ping"), std::string::npos);
+  EXPECT_NE(md.find("## Capacity by target quality"), std::string::npos);
+  // 80 gamers at the paper defaults = 40% downlink load, ~50 ms quantile.
+  EXPECT_NE(md.find("| downlink load | 40 % |"), std::string::npos);
+  EXPECT_NE(md.find("excellent"), std::string::npos);
+  EXPECT_NE(md.find("D/E_K/1"), std::string::npos);
+}
+
+TEST(Report, JitteredScenarioIsLabelled) {
+  AccessScenario s;
+  s.erlang_k = 9;
+  s.tick_jitter_cov = 0.07;
+  ReportOptions opt;
+  opt.n_clients = 40.0;
+  opt.include_capacity_table = false;
+  const std::string md = scenario_report_markdown(s, opt);
+  EXPECT_NE(md.find("GI/E_K/1"), std::string::npos);
+  EXPECT_EQ(md.find("## Capacity"), std::string::npos);
+}
+
+TEST(Report, Guards) {
+  AccessScenario s;
+  ReportOptions opt;
+  opt.epsilon = 0.0;
+  EXPECT_THROW(scenario_report_markdown(s, opt), std::invalid_argument);
+  opt = ReportOptions{};
+  opt.n_clients = 1e9;  // unstable
+  EXPECT_THROW(scenario_report_markdown(s, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpsq::core

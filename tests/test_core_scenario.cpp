@@ -1,0 +1,69 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace fpsq::core {
+namespace {
+
+TEST(AccessScenario, Eq37LoadFormula) {
+  AccessScenario s;  // defaults: P_S = 125 B, T = 40 ms, C = 5 Mb/s
+  // Paper Section 4: N = 40/80/120 <-> rho_d = 20/40/60% at these values.
+  EXPECT_NEAR(s.downlink_load(40.0), 0.2, 1e-12);
+  EXPECT_NEAR(s.downlink_load(80.0), 0.4, 1e-12);
+  EXPECT_NEAR(s.downlink_load(120.0), 0.6, 1e-12);
+  EXPECT_NEAR(s.clients_for_downlink_load(0.4), 80.0, 1e-9);
+}
+
+TEST(AccessScenario, UplinkLoadUsesClientPacket) {
+  AccessScenario s;
+  // rho_u = 8 N P_C / (T C): with P_C = 80 < P_S = 125 the uplink load is
+  // 80/125 of the downlink load.
+  EXPECT_NEAR(s.uplink_load(80.0), s.downlink_load(80.0) * 80.0 / 125.0,
+              1e-12);
+}
+
+TEST(AccessScenario, StabilityCeiling) {
+  AccessScenario s;
+  // Downlink limit: C T / (8 P_S) = 5e6*0.04/1000 = 200 clients.
+  EXPECT_NEAR(s.max_stable_clients(), 200.0, 1e-9);
+  // With P_S < P_C the uplink binds first.
+  s.server_packet_bytes = 75.0;
+  EXPECT_NEAR(s.max_stable_clients(),
+              5e6 * 0.04 / (8.0 * 80.0), 1e-9);
+}
+
+TEST(AccessScenario, DeterministicRttComponents) {
+  AccessScenario s;
+  // 8*80/128k + 8*80/5M + 8*125/5M + 8*125/1.024M  [s] -> ms.
+  const double expected =
+      (640.0 / 128e3 + 640.0 / 5e6 + 1000.0 / 5e6 + 1000.0 / 1.024e6) *
+      1e3;
+  EXPECT_NEAR(s.deterministic_rtt_ms(), expected, 1e-9);
+  s.propagation_ms = 3.0;
+  s.server_processing_ms = 2.0;
+  EXPECT_NEAR(s.deterministic_rtt_ms(), expected + 8.0, 1e-9);
+}
+
+TEST(AccessScenario, SerializationIsSmall) {
+  // Section 4: the serialization component is "in the order of 1 or 2 ms".
+  AccessScenario s;
+  EXPECT_LT(s.deterministic_rtt_ms(), 8.0);
+  EXPECT_GT(s.deterministic_rtt_ms(), 1.0);
+}
+
+TEST(AccessScenario, ValidateRejectsBadParameters) {
+  AccessScenario s;
+  s.tick_ms = 0.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = AccessScenario{};
+  s.erlang_k = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = AccessScenario{};
+  s.propagation_ms = -1.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = AccessScenario{};
+  EXPECT_NO_THROW(s.validate());
+}
+
+}  // namespace
+}  // namespace fpsq::core

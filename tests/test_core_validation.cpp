@@ -1,0 +1,49 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+namespace fpsq::core {
+namespace {
+
+TEST(Validation, ModelTracksSimulationAtModerateLoad) {
+  AccessScenario s;
+  s.server_packet_bytes = 125.0;
+  s.tick_ms = 60.0;
+  s.erlang_k = 9;
+  ValidationOptions opt;
+  opt.quantile_prob = 0.99;
+  opt.duration_s = 120.0;
+  opt.seed = 3;
+  const auto p = validate_point(s, 150, opt);  // rho_d = 0.5
+  EXPECT_NEAR(p.rho_down, 0.5, 1e-12);
+  // Downstream 99% quantile within 15%.
+  EXPECT_NEAR(p.model_down_ms / p.sim_down_ms, 1.0, 0.15);
+  // Downstream mean within 10%.
+  EXPECT_NEAR(p.model_mean_down_ms / p.sim_mean_down_ms, 1.0, 0.10);
+  // Upstream is sub-millisecond here; compare loosely.
+  EXPECT_NEAR(p.model_up_ms, p.sim_up_ms, 0.5);
+  // Model-style RTT within 25% (sim pairs correlated legs).
+  EXPECT_NEAR(p.model_rtt_ms / p.sim_rtt_ms, 1.0, 0.25);
+}
+
+TEST(Validation, SweepCoversRequestedLoads) {
+  AccessScenario s;
+  s.erlang_k = 9;
+  ValidationOptions opt;
+  opt.quantile_prob = 0.99;
+  opt.duration_s = 30.0;
+  const auto pts = validate_sweep(s, {0.2, 0.4}, opt);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_LT(pts[0].rho_down, pts[1].rho_down);
+  EXPECT_LT(pts[0].sim_down_ms, pts[1].sim_down_ms);
+  EXPECT_LT(pts[0].model_down_ms, pts[1].model_down_ms);
+}
+
+TEST(Validation, GuardsArguments) {
+  AccessScenario s;
+  ValidationOptions opt;
+  EXPECT_THROW(validate_point(s, 0, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpsq::core

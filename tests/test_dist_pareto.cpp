@@ -1,0 +1,73 @@
+#include "dist/pareto.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.h"
+
+namespace fpsq::dist {
+namespace {
+
+TEST(Pareto, CdfQuantileRoundTrip) {
+  const Pareto p{2.5, 100.0};
+  for (double u : {0.1, 0.5, 0.99, 0.99999}) {
+    EXPECT_NEAR(p.cdf(p.quantile(u)), u, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(p.cdf(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.ccdf(50.0), 1.0);
+  EXPECT_NEAR(p.ccdf(200.0), std::pow(0.5, 2.5), 1e-14);
+}
+
+TEST(Pareto, MomentsAndInfiniteCases) {
+  const Pareto p{3.0, 2.0};
+  EXPECT_NEAR(p.mean(), 3.0, 1e-12);
+  EXPECT_NEAR(p.variance(), 4.0 * 3.0 / (4.0 * 1.0), 1e-12);
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 1.0).mean()));
+  EXPECT_TRUE(std::isinf(Pareto(1.5, 1.0).variance()));
+  EXPECT_FALSE(std::isinf(Pareto(1.5, 1.0).mean()));
+}
+
+TEST(Pareto, FromMeanPinsTheMean) {
+  const Pareto p = Pareto::from_mean(1.3, 12000.0);
+  EXPECT_NEAR(p.mean(), 12000.0, 1e-8);
+  EXPECT_THROW(Pareto::from_mean(1.0, 100.0), std::invalid_argument);
+}
+
+TEST(Pareto, SamplingMatchesTailLaw) {
+  const Pareto p{2.2, 1.0};
+  Rng rng{8};
+  stats::Moments m;
+  int above_q90 = 0;
+  const int n = 200000;
+  const double x90 = p.quantile(0.9);
+  for (int i = 0; i < n; ++i) {
+    const double v = p.sample(rng);
+    EXPECT_GE(v, 1.0);
+    m.add(v);
+    if (v > x90) ++above_q90;
+  }
+  EXPECT_NEAR(m.mean(), p.mean(), 0.05 * p.mean());
+  EXPECT_NEAR(above_q90 / double(n), 0.1, 0.005);
+}
+
+TEST(Pareto, PdfIntegratesToCdf) {
+  const Pareto p{4.0, 1.0};
+  const double a = 1.2, b = 3.0;
+  const int n = 20000;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += p.pdf(a + (i + 0.5) * (b - a) / n) * (b - a) / n;
+  }
+  EXPECT_NEAR(acc, p.cdf(b) - p.cdf(a), 1e-6);
+}
+
+TEST(Pareto, Guards) {
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, -1.0), std::invalid_argument);
+  const Pareto p{2.0, 1.0};
+  EXPECT_THROW(p.quantile(1.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace fpsq::dist

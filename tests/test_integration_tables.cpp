@@ -1,0 +1,116 @@
+// End-to-end integration: generate synthetic game sessions from the
+// Section-2 profiles and verify the trace analyzer recovers the published
+// statistics of Tables 1-3 and the Figure-1 tail behaviour.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/fitting.h"
+#include "trace/analyzer.h"
+#include "traffic/game_profiles.h"
+#include "traffic/synthetic.h"
+
+namespace fpsq {
+namespace {
+
+using trace::AnalyzerOptions;
+using trace::BurstGrouping;
+
+trace::TrafficCharacteristics analyze_profile(
+    const traffic::GameProfile& profile, int clients, double duration_s,
+    std::uint64_t seed) {
+  traffic::SyntheticTraceOptions opt;
+  opt.clients = clients;
+  opt.duration_s = duration_s;
+  opt.seed = seed;
+  const auto t = traffic::generate_trace(profile, opt);
+  AnalyzerOptions a;
+  a.grouping = BurstGrouping::kByGapThreshold;
+  a.gap_threshold_s = 8e-3;
+  return trace::analyze(t, a);
+}
+
+TEST(Table1, CounterStrikeCharacteristicsRecovered) {
+  const auto c =
+      analyze_profile(traffic::counter_strike(), 12, 360.0, 21);
+  // Client-to-server: mean 82 B (CoV 0.12 in the paper; the Ext(80, 5.7)
+  // approximation has mean 83.3 and CoV 0.088).
+  EXPECT_NEAR(c.client_packet_size_bytes.mean(), 83.3, 2.0);
+  EXPECT_LT(c.client_packet_size_bytes.cov(), 0.15);
+  // Client IAT: Det(40).
+  EXPECT_NEAR(c.client_iat_ms.mean(), 40.0, 0.5);
+  EXPECT_LT(c.client_iat_ms.cov(), 0.02);
+  // Server-to-client: packet sizes Ext(120, 36) -> mean 140.8.
+  EXPECT_NEAR(c.server_packet_size_bytes.mean(), 140.8, 3.0);
+  EXPECT_NEAR(c.server_packet_size_bytes.cov(), 0.328, 0.06);
+  // Burst IAT: Ext(55, 6) -> mean 58.5 ms, CoV ~0.13.
+  EXPECT_NEAR(c.burst_iat_ms.mean(), 58.5, 1.5);
+  // One packet per client per burst.
+  EXPECT_NEAR(c.burst_packet_count.mean(), 12.0, 0.2);
+}
+
+TEST(Table2, HalfLifeCharacteristicsRecovered) {
+  const auto c = analyze_profile(traffic::half_life(), 10, 360.0, 22);
+  EXPECT_NEAR(c.burst_iat_ms.mean(), 60.0, 0.5);
+  EXPECT_LT(c.burst_iat_ms.cov(), 0.02);
+  EXPECT_NEAR(c.client_iat_ms.mean(), 41.0, 0.5);
+  EXPECT_NEAR(c.client_packet_size_bytes.mean(), 75.0, 2.0);
+  // Map-dependent lognormal server sizes: default mean 120.
+  EXPECT_NEAR(c.server_packet_size_bytes.mean(), 120.0, 5.0);
+}
+
+TEST(Table3, UnrealTournamentSessionRecovered) {
+  // The paper's 12-player, six-minute LAN trace (Section 2.2).
+  const auto c =
+      analyze_profile(traffic::unreal_tournament(12), 12, 360.0, 23);
+  // Server->client: mean packet size 154 B (1852/12), CoV ~0.28 overall.
+  EXPECT_NEAR(c.server_packet_size_bytes.mean(), 154.0, 6.0);
+  EXPECT_NEAR(c.server_packet_size_bytes.cov(), 0.28, 0.09);
+  // Burst IAT 47 ms, CoV 0.07.
+  EXPECT_NEAR(c.burst_iat_ms.mean(), 47.0, 1.0);
+  EXPECT_NEAR(c.burst_iat_ms.cov(), 0.07, 0.025);
+  // Burst size 1852 B, CoV 0.19.
+  EXPECT_NEAR(c.burst_size_bytes.mean(), 1852.0, 60.0);
+  EXPECT_NEAR(c.burst_size_bytes.cov(), 0.19, 0.04);
+  // Within-burst size CoV much smaller than overall (0.05-0.11).
+  EXPECT_GT(c.within_burst_size_cov.mean(), 0.03);
+  EXPECT_LT(c.within_burst_size_cov.mean(), 0.13);
+  // Client->server: 73 B CoV 0.06; IAT 30 ms CoV 0.65.
+  EXPECT_NEAR(c.client_packet_size_bytes.mean(), 73.0, 2.0);
+  EXPECT_NEAR(c.client_packet_size_bytes.cov(), 0.06, 0.02);
+  EXPECT_NEAR(c.client_iat_ms.mean(), 30.0, 1.0);
+  EXPECT_NEAR(c.client_iat_ms.cov(), 0.65, 0.08);
+}
+
+TEST(Figure1, TailFitLandsBelowMomentFit) {
+  // Generate the UT session, build the burst-size TDF, and reproduce the
+  // paper's finding: the CoV fit gives K = 28 while the tail fit lands
+  // around 15-20.
+  const auto c =
+      analyze_profile(traffic::unreal_tournament(12), 12, 1200.0, 24);
+  const auto tdf = trace::burst_size_tdf(c.bursts, 4000.0, 81);
+  const auto tail_fit =
+      dist::erlang_fit_tail(c.burst_size_bytes.mean(), tdf, 2, 64, 1e-4);
+  const auto moment_fit = dist::erlang_fit_moments(
+      c.burst_size_bytes.mean(), c.burst_size_bytes.cov());
+  EXPECT_NEAR(moment_fit.k(), 28, 8);
+  EXPECT_LT(tail_fit.k, moment_fit.k());
+  EXPECT_GE(tail_fit.k, 8);
+  EXPECT_LE(tail_fit.k, 26);
+}
+
+TEST(Profiles, QuakeAndHaloGenerateSaneTraffic) {
+  const auto q3 = analyze_profile(traffic::quake3(12), 12, 120.0, 25);
+  EXPECT_NEAR(q3.burst_iat_ms.mean(), 50.0, 1.0);
+  EXPECT_NEAR(q3.client_iat_ms.mean(), 15.0, 0.5);
+  EXPECT_GE(q3.client_packet_size_bytes.mean(), 50.0);
+  EXPECT_LE(q3.client_packet_size_bytes.mean(), 70.0);
+
+  const auto h = analyze_profile(traffic::halo(8), 8, 120.0, 26);
+  EXPECT_NEAR(h.burst_iat_ms.mean(), 40.0, 1.0);
+  // Two periodic client streams -> pooled IAT well below 201 ms.
+  EXPECT_LT(h.client_iat_ms.mean(), 120.0);
+}
+
+}  // namespace
+}  // namespace fpsq

@@ -1,0 +1,132 @@
+#include "queueing/giek1.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/erlang.h"
+#include "dist/gamma.h"
+#include "queueing/dek1.h"
+#include "queueing/lindley.h"
+
+namespace fpsq::queueing {
+namespace {
+
+TEST(GiEk1, DeterministicArrivalsReproduceDEk1Exactly) {
+  for (const auto& [k, rho] : {std::pair{2, 0.5}, std::pair{9, 0.7},
+                               std::pair{20, 0.9}}) {
+    const DEk1Solver ref{k, rho, 1.0};
+    const GiEk1Solver gen{k, rho, deterministic_arrivals(1.0)};
+    EXPECT_NEAR(gen.p_wait_zero(), ref.p_wait_zero(), 1e-10)
+        << "k=" << k;
+    for (double x : {0.2, 0.8, 2.0}) {
+      EXPECT_NEAR(gen.wait_tail(x), ref.wait_tail(x),
+                  1e-10 + 1e-8 * ref.wait_tail(x))
+          << "k=" << k << " x=" << x;
+    }
+    EXPECT_NEAR(gen.mean_wait(), ref.mean_wait(),
+                1e-9 * (1.0 + ref.mean_wait()));
+  }
+}
+
+TEST(GiEk1, ErlangArrivalsMatchLindleyMonteCarlo) {
+  // E_3 / E_9 / 1 at rho = 0.6 (the configuration verified during
+  // development to 4 decimals).
+  const int m = 3, k = 9;
+  const double nu = 3.0, rho = 0.6;
+  const GiEk1Solver q{k, rho, erlang_arrivals(m, nu)};
+  const dist::Erlang iat{m, nu};
+  const dist::Erlang svc = dist::Erlang::from_mean(k, rho);
+  LindleyOptions opt;
+  opt.samples = 1000000;
+  opt.seed = 4;
+  const auto mc = simulate_gg1(
+      [&iat](dist::Rng& r) { return iat.sample(r); },
+      [&svc](dist::Rng& r) { return svc.sample(r); }, opt);
+  EXPECT_NEAR(q.p_wait_zero(), mc.p_wait_zero, 0.01);
+  for (double x : {0.2, 0.5, 1.0}) {
+    EXPECT_NEAR(q.wait_tail(x), mc.waits.tdf(x),
+                0.05 * mc.waits.tdf(x) + 5e-4)
+        << "x=" << x;
+  }
+  EXPECT_NEAR(q.mean_wait(), mc.mean_wait, 0.04 * mc.mean_wait);
+}
+
+TEST(GiEk1, GammaArrivalsMatchLindleyMonteCarlo) {
+  // Non-integer shape: Gamma(CoV 0.3) ticks — the jittered-tick model.
+  const int k = 9;
+  const double rho = 0.7;
+  const auto arrivals = gamma_arrivals_mean_cov(1.0, 0.3);
+  const GiEk1Solver q{k, rho, arrivals};
+  const dist::Gamma iat{1.0 / 0.09, 1.0 / 0.09};
+  const dist::Erlang svc = dist::Erlang::from_mean(k, rho);
+  LindleyOptions opt;
+  opt.samples = 1000000;
+  opt.seed = 17;
+  const auto mc = simulate_gg1(
+      [&iat](dist::Rng& r) { return iat.sample(r); },
+      [&svc](dist::Rng& r) { return svc.sample(r); }, opt);
+  EXPECT_NEAR(q.p_wait_zero(), mc.p_wait_zero, 0.012);
+  for (double x : {0.3, 0.8, 1.5}) {
+    EXPECT_NEAR(q.wait_tail(x), mc.waits.tdf(x),
+                0.06 * mc.waits.tdf(x) + 6e-4)
+        << "x=" << x;
+  }
+}
+
+TEST(GiEk1, JitterThickensTheTailMonotonically) {
+  // At fixed load, more tick jitter = heavier waiting tail; the
+  // deterministic case is the lower envelope.
+  const int k = 9;
+  const double rho = 0.6;
+  const double x = 0.8;
+  const GiEk1Solver det{k, rho, deterministic_arrivals(1.0)};
+  double prev = det.wait_tail(x);
+  for (double cov : {0.1, 0.3, 0.6, 1.0}) {
+    const GiEk1Solver q{k, rho, gamma_arrivals_mean_cov(1.0, cov)};
+    const double t = q.wait_tail(x);
+    EXPECT_GT(t, prev) << "cov=" << cov;
+    prev = t;
+  }
+}
+
+TEST(GiEk1, PoissonArrivalsRecoverMEk1) {
+  // Gamma shape 1 = exponential interarrivals: M/E_K/1, whose P(W = 0)
+  // is exactly 1 - rho.
+  const GiEk1Solver q{5, 0.65, gamma_arrivals(1.0, 1.0)};
+  EXPECT_NEAR(q.p_wait_zero(), 0.35, 1e-9);
+}
+
+TEST(GiEk1, MgfIsProperAcrossGrid) {
+  for (int k : {1, 2, 9, 20}) {
+    for (double cov : {0.05, 0.3, 0.8}) {
+      for (double rho : {0.3, 0.7, 0.92}) {
+        const GiEk1Solver q{k, rho, gamma_arrivals_mean_cov(1.0, cov)};
+        EXPECT_NEAR(q.waiting_mgf().total_mass(), 1.0, 1e-8)
+            << "k=" << k << " cov=" << cov << " rho=" << rho;
+        EXPECT_GE(q.p_wait_zero(), -1e-9);
+        double prev = 1.0 + 1e-9;
+        for (double x = 0.0; x <= 2.0; x += 0.25) {
+          const double t = q.wait_tail(x);
+          EXPECT_LE(t, prev + 1e-9);
+          EXPECT_GE(t, -1e-9);
+          prev = t;
+        }
+      }
+    }
+  }
+}
+
+TEST(GiEk1, Guards) {
+  EXPECT_THROW(GiEk1Solver(0, 0.5, deterministic_arrivals(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(GiEk1Solver(2, 1.0, deterministic_arrivals(1.0)),
+               std::invalid_argument);  // rho = 1
+  EXPECT_THROW(deterministic_arrivals(0.0), std::invalid_argument);
+  EXPECT_THROW(erlang_arrivals(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(gamma_arrivals(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(gamma_arrivals_mean_cov(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpsq::queueing

@@ -1,0 +1,84 @@
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.h"
+#include "queueing/mg1.h"
+#include "sim/event_kernel.h"
+#include "sim/link.h"
+
+namespace fpsq::queueing {
+namespace {
+
+TEST(MD1QueueLength, MassAndBoundaryExact) {
+  const MD1 q{0.7, 1.0};
+  const auto pmf = q.queue_length_pmf(120);
+  EXPECT_NEAR(pmf[0], 0.3, 1e-14);  // P(N = 0) = 1 - rho
+  const double mass = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  for (double p : pmf) {
+    EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(MD1QueueLength, LittlesLawHolds) {
+  for (double rho : {0.3, 0.6, 0.85}) {
+    const MD1 q{rho, 1.0};
+    const auto pmf = q.queue_length_pmf(400);
+    double mean_n = 0.0;
+    for (std::size_t n = 0; n < pmf.size(); ++n) {
+      mean_n += static_cast<double>(n) * pmf[n];
+    }
+    // E[N] = lambda (E[W] + d).
+    EXPECT_NEAR(mean_n, rho * (q.mean_wait() + 1.0),
+                1e-6 * (1.0 + mean_n))
+        << "rho=" << rho;
+  }
+}
+
+TEST(MD1QueueLength, MatchesEventSimulation) {
+  // Sample the number-in-system at Poisson epochs (PASTA) in a Link sim.
+  const double d = 1.0;
+  const double rho = 0.6;
+  sim::Simulator s;
+  std::size_t in_system = 0;
+  sim::Link link{s, 8000.0 /* 1000 B -> 1 s */, sim::make_fifo(),
+                 [&in_system](sim::SimPacket&&) { --in_system; }};
+  dist::Rng rng{5};
+  std::vector<double> observed(12, 0.0);
+  std::uint64_t probes = 0;
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [&]() {
+    if (s.now() > 50.0) {  // warmup
+      ++probes;
+      const std::size_t n = std::min<std::size_t>(in_system, 11);
+      observed[n] += 1.0;
+    }
+    ++in_system;
+    sim::SimPacket p;
+    p.size_bytes = 1000;
+    link.send(std::move(p));
+    s.schedule_in(rng.exponential(rho / d), [arrive]() { (*arrive)(); });
+  };
+  s.schedule_at(0.0, [arrive]() { (*arrive)(); });
+  s.run_until(400000.0);
+  const MD1 q{rho / d, d};
+  const auto pmf = q.queue_length_pmf(11);
+  for (std::size_t n = 0; n <= 6; ++n) {
+    const double sim_p = observed[n] / static_cast<double>(probes);
+    EXPECT_NEAR(pmf[n], sim_p, 0.05 * sim_p + 2e-3) << "n=" << n;
+  }
+}
+
+TEST(MD1QueueLength, Guards) {
+  const MD1 q{0.5, 1.0};
+  EXPECT_THROW(q.queue_length_pmf(-1), std::invalid_argument);
+  EXPECT_EQ(q.queue_length_pmf(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace fpsq::queueing

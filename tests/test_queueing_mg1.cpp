@@ -1,0 +1,130 @@
+#include "queueing/mg1.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fpsq::queueing {
+namespace {
+
+TEST(MD1, PollaczekKhinchineMean) {
+  // E[W] = lambda d^2 / (2 (1 - rho)).
+  const MD1 q{0.5, 1.0};
+  EXPECT_NEAR(q.mean_wait(), 0.5 / (2.0 * 0.5), 1e-12);
+  const MD1 q2{8.0, 0.1};  // rho = 0.8
+  EXPECT_NEAR(q2.mean_wait(), 8.0 * 0.01 / (2.0 * 0.2), 1e-12);
+}
+
+TEST(MD1, DominantPoleSolvesDefiningEquation) {
+  for (double rho : {0.3, 0.6, 0.9}) {
+    const MD1 q{rho, 1.0};
+    const double g = q.dominant_pole();
+    EXPECT_GT(g, 0.0);
+    EXPECT_NEAR(g, rho * std::expm1(g), 1e-8 * (1.0 + g));
+  }
+}
+
+TEST(MD1, ExactCdfBasics) {
+  const MD1 q{0.5, 1.0};
+  EXPECT_NEAR(q.wait_cdf_exact(0.0), 0.5, 1e-12);  // P(W=0) = 1 - rho
+  EXPECT_DOUBLE_EQ(q.wait_cdf_exact(-1.0), 0.0);
+  EXPECT_GT(q.wait_cdf_exact(10.0), 0.9999);
+  // Monotone.
+  double prev = 0.0;
+  for (double t = 0.0; t < 8.0; t += 0.25) {
+    const double c = q.wait_cdf_exact(t);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(MD1, ExactCdfMatchesLindleyMonteCarlo) {
+  for (double rho : {0.4, 0.7}) {
+    const MD1 q{rho, 1.0};
+    const auto mc = testutil::lindley_gg1(
+        [rho](dist::Rng& rng) { return rng.exponential(rho); },
+        [](dist::Rng&) { return 1.0; }, 400000, 2000, 321);
+    for (double t : {0.5, 1.5, 3.0}) {
+      EXPECT_NEAR(q.wait_cdf_exact(t), mc.cdf(t), 0.01)
+          << "rho=" << rho << " t=" << t;
+    }
+    EXPECT_NEAR(q.mean_wait(), mc.mean(), 0.03 * (mc.mean() + 0.01));
+  }
+}
+
+TEST(MD1, AsymptoticTailTracksExact) {
+  const MD1 q{0.7, 1.0};
+  const auto asym = q.asymptotic_mgf();
+  // In the moderate tail the one-pole asymptote is within a few percent.
+  for (double t : {3.0, 5.0, 8.0}) {
+    const double exact = q.wait_tail_exact(t);
+    EXPECT_NEAR(asym.tail(t) / exact, 1.0, 0.05) << "t=" << t;
+  }
+}
+
+TEST(MD1, PaperEq14UnderestimatesAsymptote) {
+  // Eq. (14) pins the tail constant to rho, which is below the true
+  // asymptotic constant for M/D/1 — both share the decay rate gamma.
+  const MD1 q{0.6, 1.0};
+  const auto paper = q.paper_mgf();
+  const auto asym = q.asymptotic_mgf();
+  EXPECT_NEAR(paper.dominant_pole().real(), asym.dominant_pole().real(),
+              1e-12);
+  EXPECT_LT(paper.tail(3.0), asym.tail(3.0));
+}
+
+TEST(MD1, QuantileInvertsExactCdf) {
+  const MD1 q{0.8, 1.0};
+  for (double eps : {0.1, 0.01, 1e-3}) {
+    const double x = q.wait_quantile_exact(eps);
+    EXPECT_NEAR(q.wait_tail_exact(x), eps, 0.02 * eps) << eps;
+  }
+  // Below P(W > 0) = rho the quantile is positive; above it, zero.
+  EXPECT_DOUBLE_EQ(q.wait_quantile_exact(0.9), 0.0);
+}
+
+TEST(MG1Mix, TwoClassLoadAndMean) {
+  // Classes per eq. (13): two packet sizes.
+  const MG1DeterministicMix q{{{5.0, 0.05}, {2.0, 0.1}}};
+  EXPECT_NEAR(q.rho(), 5.0 * 0.05 + 2.0 * 0.1, 1e-12);
+  // PK: lambda E[S^2] / (2(1-rho)) with lambda E[S^2] =
+  // 5*0.0025 + 2*0.01.
+  EXPECT_NEAR(q.mean_wait(), (5.0 * 0.0025 + 2.0 * 0.01) / (2.0 * 0.55),
+              1e-12);
+}
+
+TEST(MG1Mix, TwoClassMatchesMonteCarlo) {
+  const MG1DeterministicMix q{{{4.0, 0.08}, {1.0, 0.3}}};  // rho = 0.62
+  const double lambda = 5.0;
+  const auto mc = testutil::lindley_gg1(
+      [lambda](dist::Rng& rng) { return rng.exponential(lambda); },
+      [](dist::Rng& rng) {
+        // Class picked proportionally to rates 4:1.
+        return rng.uniform01() < 0.8 ? 0.08 : 0.3;
+      },
+      400000, 2000, 17);
+  EXPECT_NEAR(q.mean_wait(), mc.mean(), 0.04 * mc.mean());
+  const auto asym = q.asymptotic_mgf();
+  EXPECT_NEAR(asym.tail(1.0), mc.tdf(1.0),
+              0.2 * mc.tdf(1.0) + 1e-4);
+}
+
+TEST(MG1Mix, DominantPoleBelowSingleFatClass) {
+  // Adding a second, larger class must lower (or keep) the decay rate.
+  const MG1DeterministicMix small{{{4.0, 0.1}}};
+  const MG1DeterministicMix mixed{{{4.0, 0.1}, {0.5, 0.4}}};
+  EXPECT_LT(mixed.dominant_pole(), small.dominant_pole());
+}
+
+TEST(MG1Mix, Guards) {
+  EXPECT_THROW(MG1DeterministicMix{{}}, std::invalid_argument);
+  EXPECT_THROW((MG1DeterministicMix{{{-1.0, 0.1}}}),
+               std::invalid_argument);
+  EXPECT_THROW((MG1DeterministicMix{{{5.0, 0.2}}}),
+               std::invalid_argument);  // rho = 1
+}
+
+}  // namespace
+}  // namespace fpsq::queueing

@@ -1,0 +1,65 @@
+#include "sim/event_kernel.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fpsq::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&order]() { order.push_back(3); });
+  sim.schedule_at(1.0, [&order]() { order.push_back(1); });
+  sim.schedule_at(2.0, [&order]() { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i]() { order.push_back(i); });
+  }
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, HandlersMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 10) sim.schedule_in(0.5, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run_until(100.0);
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5.0, [&fired]() { ++fired; });
+  sim.schedule_at(15.0, [&fired]() { ++fired; });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  sim.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(1.0, []() {});
+  sim.run_until(2.0);
+  EXPECT_THROW(sim.schedule_at(1.5, []() {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-0.1, []() {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpsq::sim

@@ -1,0 +1,103 @@
+// Closes the loop between the two halves of the library: packets pushed
+// through the event-driven Link must reproduce the analytic queueing
+// laws (M/D/1, M/M/1) that the Section-3 models are built from.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dist/dist.h"
+#include "queueing/mg1.h"
+#include "sim/event_kernel.h"
+#include "sim/link.h"
+#include "sim/measurement.h"
+
+namespace fpsq::sim {
+namespace {
+
+/// Drives Poisson packet arrivals with the given size law through a Link
+/// and returns the waiting-time tap.
+DelayTap run_poisson_link(double lambda_pps, const dist::Distribution& size,
+                          double rate_bps, double duration_s,
+                          std::uint64_t seed) {
+  Simulator sim;
+  DelayTap tap{1.0, true};
+  Link link{sim, rate_bps, make_fifo(), [](SimPacket&&) {}};
+  link.set_wait_observer(
+      [&](const SimPacket&, double w) { tap.record(sim.now(), w); });
+  dist::Rng rng{seed};
+  std::uint64_t id = 0;
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [&sim, &link, &rng, &size, &id, lambda_pps, arrive]() {
+    SimPacket p;
+    p.id = id++;
+    p.size_bytes = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(size.sample(rng))));
+    p.created_s = sim.now();
+    link.send(std::move(p));
+    sim.schedule_in(rng.exponential(lambda_pps),
+                    [arrive]() { (*arrive)(); });
+  };
+  sim.schedule_at(0.0, [arrive]() { (*arrive)(); });
+  sim.run_until(duration_s);
+  return tap;
+}
+
+TEST(SimQueueTheory, LinkReproducesMD1) {
+  // 1000 B packets at 1 Mb/s -> d = 8 ms; lambda = 87.5/s -> rho = 0.7.
+  const double d = 8e-3;
+  const double lambda = 0.7 / d;
+  const dist::Deterministic size{1000.0};
+  const auto tap = run_poisson_link(lambda, size, 1e6, 600.0, 5);
+  const queueing::MD1 md1{lambda, d};
+  EXPECT_NEAR(tap.moments().mean(), md1.mean_wait(),
+              0.05 * md1.mean_wait());
+  for (double p : {0.9, 0.99}) {
+    EXPECT_NEAR(tap.exact_quantile(p), md1.wait_quantile_exact(1.0 - p),
+                0.08 * md1.wait_quantile_exact(1.0 - p))
+        << "p=" << p;
+  }
+  // P(W = 0) = 1 - rho.
+  EXPECT_NEAR(tap.exact_tail(1e-12), 0.7, 0.02);
+}
+
+TEST(SimQueueTheory, LinkReproducesMM1) {
+  // Exponential sizes: M/M/1 with E[W] = rho/(mu - lambda).
+  const double mean_size = 1000.0;  // bytes -> d_mean = 8 ms at 1 Mb/s
+  const double d_mean = 8.0 * mean_size / 1e6;
+  const double rho = 0.6;
+  const double lambda = rho / d_mean;
+  const dist::Exponential size{1.0 / mean_size};
+  const auto tap = run_poisson_link(lambda, size, 1e6, 600.0, 6);
+  const double mu = 1.0 / d_mean;
+  const double expected = rho / (mu - lambda);
+  EXPECT_NEAR(tap.moments().mean(), expected, 0.06 * expected);
+  // Exponential tail P(W > x) = rho e^{-(mu - lambda) x}.
+  const double x = 3.0 * d_mean;
+  EXPECT_NEAR(tap.exact_tail(x), rho * std::exp(-(mu - lambda) * x),
+              0.015);
+}
+
+TEST(SimQueueTheory, TwoClassMixMatchesEq13Model) {
+  // Two deterministic packet sizes in one Poisson stream: the Link must
+  // match the MG1DeterministicMix (eq. 13) mean.
+  // E[S] = 0.7*4ms + 0.3*16ms = 7.6 ms; lambda = 85/s -> rho = 0.646.
+  const double lambda = 85.0;
+  const dist::Mixture size{std::vector<dist::Mixture::Component>{
+      {0.7, std::make_shared<dist::Deterministic>(500.0)},
+      {0.3, std::make_shared<dist::Deterministic>(2000.0)}}};
+  const auto tap = run_poisson_link(lambda, size, 1e6, 600.0, 7);
+  const queueing::MG1DeterministicMix model{
+      {{0.7 * lambda, 8.0 * 500.0 / 1e6},
+       {0.3 * lambda, 8.0 * 2000.0 / 1e6}}};
+  EXPECT_NEAR(tap.moments().mean(), model.mean_wait(),
+              0.06 * model.mean_wait());
+  // Asymptotic tail at a simulable level.
+  const auto asym = model.asymptotic_mgf();
+  const double x = model.mean_wait() * 4.0;
+  EXPECT_NEAR(tap.exact_tail(x), asym.tail(x),
+              0.25 * asym.tail(x) + 2e-3);
+}
+
+}  // namespace
+}  // namespace fpsq::sim

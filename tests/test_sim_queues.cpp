@@ -1,0 +1,161 @@
+#include "sim/queues.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_kernel.h"
+#include "sim/link.h"
+
+namespace fpsq::sim {
+namespace {
+
+SimPacket mk(std::uint64_t id, std::uint32_t bytes, TrafficClass cls) {
+  SimPacket p;
+  p.id = id;
+  p.size_bytes = bytes;
+  p.traffic_class = cls;
+  return p;
+}
+
+TEST(FifoQueue, PreservesOrder) {
+  FifoQueue q;
+  q.enqueue(mk(1, 10, TrafficClass::kElastic));
+  q.enqueue(mk(2, 10, TrafficClass::kInteractive));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.dequeue()->id, 1u);
+  EXPECT_EQ(q.dequeue()->id, 2u);
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HolPriorityQueue, InteractiveFirst) {
+  HolPriorityQueue q;
+  q.enqueue(mk(1, 10, TrafficClass::kElastic));
+  q.enqueue(mk(2, 10, TrafficClass::kInteractive));
+  q.enqueue(mk(3, 10, TrafficClass::kElastic));
+  q.enqueue(mk(4, 10, TrafficClass::kInteractive));
+  EXPECT_EQ(q.dequeue()->id, 2u);
+  EXPECT_EQ(q.dequeue()->id, 4u);
+  EXPECT_EQ(q.dequeue()->id, 1u);
+  EXPECT_EQ(q.dequeue()->id, 3u);
+}
+
+TEST(WfqQueue, EqualWeightsAlternate) {
+  WfqQueue q{0.5, 0.5};
+  // Same-size packets in both classes: tags interleave 1:1.
+  for (int i = 0; i < 3; ++i) {
+    q.enqueue(mk(100 + i, 100, TrafficClass::kInteractive));
+    q.enqueue(mk(200 + i, 100, TrafficClass::kElastic));
+  }
+  std::vector<std::uint64_t> ids;
+  while (auto p = q.dequeue()) ids.push_back(p->id);
+  ASSERT_EQ(ids.size(), 6u);
+  // First two must be one of each class.
+  const bool first_pair_mixed =
+      (ids[0] / 100 == 1 && ids[1] / 100 == 2) ||
+      (ids[0] / 100 == 2 && ids[1] / 100 == 1);
+  EXPECT_TRUE(first_pair_mixed);
+}
+
+TEST(WfqQueue, WeightsShapeServiceShare) {
+  // Interactive weight 3x elastic: with equal sizes, of the first 4
+  // packets served ~3 should be interactive.
+  WfqQueue q{0.75, 0.25};
+  for (int i = 0; i < 8; ++i) {
+    q.enqueue(mk(i, 100, TrafficClass::kInteractive));
+    q.enqueue(mk(100 + i, 100, TrafficClass::kElastic));
+  }
+  int interactive_in_first4 = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (q.dequeue()->traffic_class == TrafficClass::kInteractive) {
+      ++interactive_in_first4;
+    }
+  }
+  EXPECT_EQ(interactive_in_first4, 3);
+}
+
+TEST(WfqQueue, GuardsWeights) {
+  EXPECT_THROW(WfqQueue(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(WfqQueue(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Link, SerializationTimingIsExact) {
+  Simulator sim;
+  std::vector<double> deliveries;
+  Link link{sim, 1e6 /* 1 Mb/s */, make_fifo(),
+            [&sim, &deliveries](SimPacket&&) {
+              deliveries.push_back(sim.now());
+            }};
+  sim.schedule_at(0.0, [&link]() {
+    link.send(mk(1, 1250, TrafficClass::kInteractive));  // 10 ms
+    link.send(mk(2, 2500, TrafficClass::kInteractive));  // 20 ms
+  });
+  sim.run_until(1.0);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NEAR(deliveries[0], 0.010, 1e-12);
+  EXPECT_NEAR(deliveries[1], 0.030, 1e-12);
+  EXPECT_NEAR(link.serialization_s(1250), 0.010, 1e-15);
+}
+
+TEST(Link, PropagationDelayAdds) {
+  Simulator sim;
+  double delivered_at = -1.0;
+  Link link{sim, 1e6, make_fifo(),
+            [&sim, &delivered_at](SimPacket&&) {
+              delivered_at = sim.now();
+            },
+            0.005};
+  sim.schedule_at(0.0, [&link]() {
+    link.send(mk(1, 1250, TrafficClass::kInteractive));
+  });
+  sim.run_until(1.0);
+  EXPECT_NEAR(delivered_at, 0.015, 1e-12);
+}
+
+TEST(Link, WaitObserverSeesQueueingDelay) {
+  Simulator sim;
+  std::vector<double> waits;
+  Link link{sim, 1e6, make_fifo(), [](SimPacket&&) {}};
+  link.set_wait_observer(
+      [&waits](const SimPacket&, double w) { waits.push_back(w); });
+  sim.schedule_at(0.0, [&link]() {
+    link.send(mk(1, 1250, TrafficClass::kInteractive));  // served at once
+    link.send(mk(2, 1250, TrafficClass::kInteractive));  // waits 10 ms
+  });
+  sim.run_until(1.0);
+  ASSERT_EQ(waits.size(), 2u);
+  EXPECT_NEAR(waits[0], 0.0, 1e-12);
+  EXPECT_NEAR(waits[1], 0.010, 1e-12);
+}
+
+TEST(Link, NonPreemptiveAcrossPriorities) {
+  Simulator sim;
+  std::vector<std::uint64_t> order;
+  Link link{sim, 1e6, make_hol_priority(),
+            [&order](SimPacket&& p) { order.push_back(p.id); }};
+  sim.schedule_at(0.0, [&link]() {
+    link.send(mk(1, 12500, TrafficClass::kElastic));  // 100 ms service
+  });
+  // High-priority packet arrives mid-service; must not preempt.
+  sim.schedule_at(0.010, [&link]() {
+    link.send(mk(2, 1250, TrafficClass::kInteractive));
+  });
+  sim.run_until(1.0);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+}
+
+TEST(Link, GuardsConstruction) {
+  Simulator sim;
+  EXPECT_THROW(Link(sim, 0.0, make_fifo(), [](SimPacket&&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(Link(sim, 1e6, nullptr, [](SimPacket&&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(Link(sim, 1e6, make_fifo(), [](SimPacket&&) {}, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpsq::sim

@@ -1,0 +1,132 @@
+#include "sim/gaming_scenario.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fpsq::sim {
+namespace {
+
+GamingScenarioConfig small_config() {
+  GamingScenarioConfig cfg;
+  cfg.n_clients = 20;
+  cfg.tick_ms = 40.0;
+  cfg.server_packet_bytes = 125.0;
+  cfg.client_packet_bytes = 80.0;
+  cfg.erlang_k = 9;
+  cfg.duration_s = 30.0;
+  cfg.warmup_s = 2.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(GamingScenario, LoadFormulasMatchEq37) {
+  GamingScenarioConfig cfg = small_config();
+  // rho_d = 8 N P_S / (T C) = 8*20*125 / (0.04 * 5e6) = 0.1.
+  EXPECT_NEAR(downlink_load(cfg), 0.1, 1e-12);
+  EXPECT_NEAR(uplink_load(cfg), 0.064, 1e-12);
+}
+
+TEST(GamingScenario, RunsAndPopulatesTaps) {
+  const auto r = run_gaming_scenario(small_config());
+  EXPECT_GT(r.events, 1000u);
+  EXPECT_GT(r.upstream_packets, 10000u);
+  // Both directions carry ~N * duration / T packets (phases differ by at
+  // most a few ticks).
+  EXPECT_NEAR(static_cast<double>(r.upstream_packets),
+              static_cast<double>(r.downstream_packets), 20.0 * 4.0);
+  EXPECT_GT(r.upstream_wait.moments().count(), 0u);
+  EXPECT_GT(r.downstream_delay.moments().count(), 0u);
+  EXPECT_GT(r.model_rtt.moments().count(), 0u);
+  EXPECT_GT(r.true_ping.moments().count(), 0u);
+  // True ping includes the wait for the next tick; it must exceed the
+  // model-style RTT on average.
+  EXPECT_GT(r.true_ping.moments().mean(), r.model_rtt.moments().mean());
+}
+
+TEST(GamingScenario, DownstreamDelayBracketedBySerialization) {
+  const auto cfg = small_config();
+  const auto r = run_gaming_scenario(cfg);
+  // Every downstream packet needs at least its own serialization at C and
+  // at most a tick's worth of backlog at these loads.
+  const double min_ser = 8.0 * 1.0 / cfg.bottleneck_bps;  // >= 1 byte
+  EXPECT_GE(r.downstream_delay.moments().min(), min_ser);
+  EXPECT_LT(r.downstream_delay.moments().max(), 0.080);
+}
+
+TEST(GamingScenario, MeanDownstreamTracksHalfBurst) {
+  // At low load the mean downstream delay ~ mean position delay + own
+  // serialization ~ (half the burst at C).
+  auto cfg = small_config();
+  cfg.within_burst_cov = 0.0;
+  const auto r = run_gaming_scenario(cfg);
+  const double burst_service =
+      8.0 * cfg.n_clients * cfg.server_packet_bytes / cfg.bottleneck_bps;
+  EXPECT_NEAR(r.downstream_delay.moments().mean(), 0.5 * burst_service,
+              0.25 * burst_service);
+}
+
+TEST(GamingScenario, ReproducibleForSeed) {
+  const auto a = run_gaming_scenario(small_config());
+  const auto b = run_gaming_scenario(small_config());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.downstream_delay.moments().mean(),
+                   b.downstream_delay.moments().mean());
+}
+
+TEST(GamingScenario, GuardsBadConfigs) {
+  auto cfg = small_config();
+  cfg.n_clients = 0;
+  EXPECT_THROW(run_gaming_scenario(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.n_clients = 500;  // rho_d = 2.5: unstable
+  EXPECT_THROW(run_gaming_scenario(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.cross_load = 1.5;
+  EXPECT_THROW(run_gaming_scenario(cfg), std::invalid_argument);
+}
+
+TEST(GamingScenario, PriorityShieldsGamingFromCrossTraffic) {
+  // With heavy elastic cross traffic, FIFO inflates gaming delays far
+  // more than HoL priority does (the Section-1 motivation).
+  auto base = small_config();
+  base.duration_s = 20.0;
+
+  auto fifo = base;
+  fifo.cross_load = 0.6;
+  fifo.scheduler = GamingScenarioConfig::Scheduler::kFifo;
+  const auto r_fifo = run_gaming_scenario(fifo);
+
+  auto prio = base;
+  prio.cross_load = 0.6;
+  prio.scheduler = GamingScenarioConfig::Scheduler::kHolPriority;
+  const auto r_prio = run_gaming_scenario(prio);
+
+  const auto r_clean = run_gaming_scenario(base);
+
+  const double up_fifo = r_fifo.upstream_wait.moments().mean();
+  const double up_prio = r_prio.upstream_wait.moments().mean();
+  const double up_clean = r_clean.upstream_wait.moments().mean();
+  EXPECT_GT(up_fifo, 2.0 * up_prio);
+  // Priority keeps gaming delay within a residual-service slack of the
+  // clean run (one 1500 B elastic packet at C = 2.4 ms).
+  EXPECT_LT(up_prio, up_clean + 0.0024 + 1e-4);
+}
+
+TEST(GamingScenario, WfqAlsoShieldsGaming) {
+  auto base = small_config();
+  base.duration_s = 20.0;
+  auto wfq = base;
+  wfq.cross_load = 0.6;
+  wfq.scheduler = GamingScenarioConfig::Scheduler::kWfq;
+  wfq.wfq_interactive_share = 0.5;
+  const auto r_wfq = run_gaming_scenario(wfq);
+  auto fifo = base;
+  fifo.cross_load = 0.6;
+  const auto r_fifo = run_gaming_scenario(fifo);
+  EXPECT_LT(r_wfq.upstream_wait.moments().mean(),
+            r_fifo.upstream_wait.moments().mean());
+}
+
+}  // namespace
+}  // namespace fpsq::sim

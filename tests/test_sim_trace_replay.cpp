@@ -1,0 +1,112 @@
+#include "sim/trace_replay.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "traffic/game_profiles.h"
+#include "traffic/synthetic.h"
+
+namespace fpsq::sim {
+namespace {
+
+using trace::Direction;
+using trace::PacketRecord;
+using trace::Trace;
+
+TEST(TraceReplay, HandcraftedDelaysAreExact) {
+  // One client packet and one server packet with no contention: delays
+  // are pure serialization.
+  Trace t;
+  t.add({0.0, 1000, Direction::kClientToServer, 0, PacketRecord::kNoBurst});
+  t.add({1.0, 1000, Direction::kServerToClient, 0, 0});
+  TraceReplayConfig cfg;
+  cfg.uplink_bps = 1e6;      // 8 ms for 1000 B
+  cfg.downlink_bps = 2e6;    // 4 ms
+  cfg.bottleneck_bps = 4e6;  // 2 ms
+  const auto r = replay_trace(t, cfg);
+  EXPECT_EQ(r.upstream_packets, 1u);
+  EXPECT_EQ(r.downstream_packets, 1u);
+  // Upstream total: uplink 8 ms + bottleneck 2 ms (no queueing).
+  EXPECT_NEAR(r.upstream_total.moments().mean(), 0.010, 1e-9);
+  EXPECT_NEAR(r.upstream_wait.moments().mean(), 0.0, 1e-12);
+  // Downstream: bottleneck 2 ms sojourn; + downlink 4 ms to the client.
+  EXPECT_NEAR(r.downstream_sojourn.moments().mean(), 0.002, 1e-9);
+  EXPECT_NEAR(r.downstream_total.moments().mean(), 0.006, 1e-9);
+}
+
+TEST(TraceReplay, BackToBackBurstQueuesSequentially) {
+  // Three 1250 B server packets at the same instant into 1 Mb/s: the
+  // sojourns are 10, 20, 30 ms.
+  Trace t;
+  for (int i = 0; i < 3; ++i) {
+    t.add({1e-6 * i, 1250, Direction::kServerToClient,
+           static_cast<std::uint16_t>(i), 0});
+  }
+  TraceReplayConfig cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.downlink_bps = 100e6;
+  const auto r = replay_trace(t, cfg);
+  ASSERT_EQ(r.downstream_packets, 3u);
+  EXPECT_NEAR(r.downstream_sojourn.moments().max(), 0.030, 1e-4);
+  EXPECT_NEAR(r.downstream_sojourn.moments().mean(), 0.020, 1e-4);
+}
+
+TEST(TraceReplay, SyntheticSessionProducesPlausibleDelays) {
+  traffic::SyntheticTraceOptions opt;
+  opt.clients = 12;
+  opt.duration_s = 60.0;
+  const auto t =
+      traffic::generate_trace(traffic::unreal_tournament(12), opt);
+  TraceReplayConfig cfg;
+  cfg.warmup_s = 2.0;
+  const auto r = replay_trace(t, cfg);
+  EXPECT_GT(r.upstream_packets, 10000u);
+  EXPECT_GT(r.downstream_packets, 10000u);
+  EXPECT_EQ(r.upstream_drops, 0u);
+  // Burst of ~1852 B at 5 Mb/s is ~3 ms of work: mean sojourn must sit
+  // in the low single-digit milliseconds.
+  const double mean_ms = r.downstream_sojourn.moments().mean() * 1e3;
+  EXPECT_GT(mean_ms, 0.5);
+  EXPECT_LT(mean_ms, 5.0);
+}
+
+TEST(TraceReplay, ReproducibleAndOrderChecked) {
+  traffic::SyntheticTraceOptions opt;
+  opt.clients = 4;
+  opt.duration_s = 10.0;
+  const auto t =
+      traffic::generate_trace(traffic::counter_strike(), opt);
+  TraceReplayConfig cfg;
+  const auto a = replay_trace(t, cfg);
+  const auto b = replay_trace(t, cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.downstream_sojourn.moments().mean(),
+                   b.downstream_sojourn.moments().mean());
+
+  Trace unsorted;
+  unsorted.add({1.0, 100, Direction::kClientToServer, 0,
+                PacketRecord::kNoBurst});
+  unsorted.add({0.5, 100, Direction::kClientToServer, 0,
+                PacketRecord::kNoBurst});
+  EXPECT_THROW(replay_trace(unsorted, cfg), std::invalid_argument);
+  EXPECT_THROW(replay_trace(Trace{}, cfg), std::invalid_argument);
+}
+
+TEST(TraceReplay, BoundedBufferDropsAndCounts) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) {
+    t.add({1e-6 * i, 1250, Direction::kServerToClient,
+           static_cast<std::uint16_t>(i), 0});
+  }
+  TraceReplayConfig cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.bottleneck_buffer_packets = 4;
+  const auto r = replay_trace(t, cfg);
+  // One in service + 4 queued survive; 5 dropped.
+  EXPECT_EQ(r.downstream_packets, 5u);
+  EXPECT_EQ(r.downstream_drops, 5u);
+}
+
+}  // namespace
+}  // namespace fpsq::sim

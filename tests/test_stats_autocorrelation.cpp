@@ -1,0 +1,74 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.h"
+
+namespace fpsq::stats {
+namespace {
+
+TEST(Autocorrelation, IidSamplesAreWhite) {
+  dist::Rng rng{1};
+  std::vector<double> x(20000);
+  for (auto& v : x) v = rng.uniform01();
+  const auto acf = autocorrelation(x, 10);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(acf[k], 0.0, 3.0 / std::sqrt(double(x.size())))
+        << "lag " << k;
+  }
+  EXPECT_NEAR(effective_sample_size(x), double(x.size()),
+              0.15 * double(x.size()));
+}
+
+TEST(Autocorrelation, Ar1HasGeometricAcf) {
+  // x_{t+1} = phi x_t + e_t: acf(k) = phi^k, ESS/n = (1-phi)/(1+phi).
+  const double phi = 0.8;
+  dist::Rng rng{2};
+  std::vector<double> x(200000);
+  x[0] = 0.0;
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    x[t] = phi * x[t - 1] + rng.normal();
+  }
+  const auto acf = autocorrelation(x, 6);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(acf[k], std::pow(phi, double(k)), 0.03) << "lag " << k;
+  }
+  const double ess = effective_sample_size(x);
+  const double expected = double(x.size()) * (1.0 - phi) / (1.0 + phi);
+  EXPECT_NEAR(ess / expected, 1.0, 0.2);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsDefined) {
+  std::vector<double> x(100, 3.14);
+  const auto acf = autocorrelation(x, 5);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  EXPECT_DOUBLE_EQ(acf[1], 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesHasNegativeLag1) {
+  std::vector<double> x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  const auto acf = autocorrelation(x, 2);
+  EXPECT_NEAR(acf[1], -1.0, 0.01);
+  EXPECT_NEAR(acf[2], 1.0, 0.01);
+  // Negative correlation: ESS can exceed n; just require it to be
+  // finite and positive.
+  EXPECT_GT(effective_sample_size(x), 0.0);
+}
+
+TEST(Autocorrelation, Guards) {
+  std::vector<double> tiny = {1.0};
+  EXPECT_THROW(autocorrelation(tiny, 0), std::invalid_argument);
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_THROW(autocorrelation(x, 3), std::invalid_argument);
+  EXPECT_THROW(effective_sample_size(x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpsq::stats

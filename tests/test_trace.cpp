@@ -1,0 +1,157 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/analyzer.h"
+#include "trace/burst.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace fpsq::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  // Two clients at 10 ms periods; server bursts of 2 packets every 50 ms.
+  for (int i = 0; i < 5; ++i) {
+    t.add({0.001 + 0.010 * i, 80, Direction::kClientToServer, 0,
+           PacketRecord::kNoBurst});
+    t.add({0.004 + 0.010 * i, 84, Direction::kClientToServer, 1,
+           PacketRecord::kNoBurst});
+  }
+  for (int b = 0; b < 4; ++b) {
+    const double t0 = 0.002 + 0.050 * b;
+    t.add({t0, 120, Direction::kServerToClient, 0,
+           static_cast<std::uint32_t>(b)});
+    t.add({t0 + 0.0001, 130, Direction::kServerToClient, 1,
+           static_cast<std::uint32_t>(b)});
+  }
+  t.sort_by_time();
+  return t;
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.size(), 18u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_GT(t.duration_s(), 0.1);
+  EXPECT_EQ(t.filter(Direction::kClientToServer).size(), 10u);
+  EXPECT_EQ(t.filter(Direction::kServerToClient).size(), 8u);
+  EXPECT_EQ(t.filter(Direction::kClientToServer, 1).size(), 5u);
+  EXPECT_EQ(t.flow_count(Direction::kClientToServer), 2u);
+}
+
+TEST(Trace, SortByTimeOrders) {
+  Trace t;
+  t.add({0.5, 1, Direction::kClientToServer, 0, PacketRecord::kNoBurst});
+  t.add({0.1, 2, Direction::kClientToServer, 0, PacketRecord::kNoBurst});
+  t.sort_by_time();
+  EXPECT_EQ(t.records().front().size_bytes, 2u);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_csv(ss, t);
+  const Trace back = read_csv(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(back.records()[i].time_s, t.records()[i].time_s, 1e-9);
+    EXPECT_EQ(back.records()[i].size_bytes, t.records()[i].size_bytes);
+    EXPECT_EQ(back.records()[i].direction, t.records()[i].direction);
+    EXPECT_EQ(back.records()[i].flow_id, t.records()[i].flow_id);
+    EXPECT_EQ(back.records()[i].burst_id, t.records()[i].burst_id);
+  }
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream ss{"not,a,header\n"};
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream ss;
+  ss << "time_s,size_bytes,direction,flow_id,burst_id\n";
+  ss << "0.1,80,7,0,0\n";  // direction 7 invalid
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Bursts, GroupByBurstId) {
+  const Trace t = sample_trace();
+  const auto down = t.filter(Direction::kServerToClient);
+  const auto bursts = group_bursts(down, BurstGrouping::kByBurstId);
+  ASSERT_EQ(bursts.size(), 4u);
+  for (const auto& b : bursts) {
+    EXPECT_EQ(b.packets, 2u);
+    EXPECT_EQ(b.total_bytes, 250u);
+    EXPECT_NEAR(b.size_mean, 125.0, 1e-9);
+    EXPECT_GT(b.size_cov, 0.0);
+  }
+}
+
+TEST(Bursts, GroupByGapThreshold) {
+  const Trace t = sample_trace();
+  const auto down = t.filter(Direction::kServerToClient);
+  const auto bursts =
+      group_bursts(down, BurstGrouping::kByGapThreshold, 5e-3);
+  ASSERT_EQ(bursts.size(), 4u);
+  EXPECT_EQ(bursts[0].packets, 2u);
+  // Burst IATs should be 50 ms.
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    EXPECT_NEAR(bursts[i].start_s - bursts[i - 1].start_s, 0.050, 1e-9);
+  }
+}
+
+TEST(Bursts, GapGroupingRequiresOrderAndPositiveThreshold) {
+  std::vector<PacketRecord> recs = {
+      {0.2, 10, Direction::kServerToClient, 0, 0},
+      {0.1, 10, Direction::kServerToClient, 0, 0}};
+  EXPECT_THROW(group_bursts(recs, BurstGrouping::kByGapThreshold),
+               std::invalid_argument);
+  std::vector<PacketRecord> ok = {
+      {0.1, 10, Direction::kServerToClient, 0, 0}};
+  EXPECT_THROW(group_bursts(ok, BurstGrouping::kByGapThreshold, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Bursts, ByIdRejectsMissingId) {
+  std::vector<PacketRecord> recs = {{0.1, 10, Direction::kServerToClient,
+                                     0, PacketRecord::kNoBurst}};
+  EXPECT_THROW(group_bursts(recs, BurstGrouping::kByBurstId),
+               std::invalid_argument);
+}
+
+TEST(Analyzer, HandcraftedTraceStatistics) {
+  const Trace t = sample_trace();
+  AnalyzerOptions opt;
+  opt.grouping = BurstGrouping::kByGapThreshold;
+  opt.gap_threshold_s = 5e-3;
+  const auto c = analyze(t, opt);
+  // Client: 10 packets, sizes 80/84, IATs exactly 10 ms per flow.
+  EXPECT_EQ(c.client_packet_size_bytes.count(), 10u);
+  EXPECT_NEAR(c.client_packet_size_bytes.mean(), 82.0, 1e-9);
+  EXPECT_EQ(c.client_iat_ms.count(), 8u);  // 4 per flow
+  EXPECT_NEAR(c.client_iat_ms.mean(), 10.0, 1e-9);
+  EXPECT_NEAR(c.client_iat_ms.cov(), 0.0, 1e-9);
+  // Server: 8 packets, mean 125; bursts of 1852... here 250 bytes.
+  EXPECT_NEAR(c.server_packet_size_bytes.mean(), 125.0, 1e-9);
+  EXPECT_NEAR(c.burst_size_bytes.mean(), 250.0, 1e-9);
+  EXPECT_NEAR(c.burst_iat_ms.mean(), 50.0, 1e-6);
+  EXPECT_NEAR(c.burst_packet_count.mean(), 2.0, 1e-12);
+}
+
+TEST(Analyzer, BurstSizeTdfGridAndMass) {
+  const Trace t = sample_trace();
+  const auto down = t.filter(Direction::kServerToClient);
+  const auto bursts = group_bursts(down, BurstGrouping::kByBurstId);
+  const auto tdf = trace::burst_size_tdf(bursts, 400.0, 5);
+  ASSERT_EQ(tdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(tdf.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(tdf.back().x, 400.0);
+  EXPECT_DOUBLE_EQ(tdf.front().tdf, 1.0);   // all bursts > 0 bytes
+  EXPECT_DOUBLE_EQ(tdf.back().tdf, 0.0);    // none above 400
+  EXPECT_THROW(trace::burst_size_tdf({}, 100.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpsq::trace

@@ -1,0 +1,273 @@
+#include "trace/pcap.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fpsq::trace {
+namespace {
+
+// ---- tiny pcap builder ----------------------------------------------------
+
+class PcapBuilder {
+ public:
+  explicit PcapBuilder(std::uint32_t magic = 0xA1B2C3D4,
+                       std::uint32_t linktype = 1, bool big_endian = false)
+      : big_endian_(big_endian) {
+    u32(magic);
+    u16(2);  // version major
+    u16(4);  // version minor
+    u32(0);  // thiszone
+    u32(0);  // sigfigs
+    u32(65535);  // snaplen
+    u32(linktype);
+  }
+
+  /// Appends one UDP/IPv4/Ethernet frame.
+  void add_udp_frame(std::uint32_t ts_sec, std::uint32_t ts_frac,
+                     std::uint32_t src_ip, std::uint16_t src_port,
+                     std::uint32_t dst_ip, std::uint16_t dst_port,
+                     std::size_t payload_bytes, bool vlan = false,
+                     bool ethernet = true) {
+    std::vector<unsigned char> frame;
+    if (ethernet) {
+      for (int i = 0; i < 12; ++i) frame.push_back(0xAA);  // MACs
+      if (vlan) {
+        frame.push_back(0x81);
+        frame.push_back(0x00);
+        frame.push_back(0x00);
+        frame.push_back(0x01);
+      }
+      frame.push_back(0x08);
+      frame.push_back(0x00);  // IPv4 ethertype
+    }
+    // IPv4 header (20 bytes) + UDP header (8) + payload.
+    const std::uint16_t ip_len =
+        static_cast<std::uint16_t>(20 + 8 + payload_bytes);
+    std::vector<unsigned char> ip = {
+        0x45, 0x00,
+        static_cast<unsigned char>(ip_len >> 8),
+        static_cast<unsigned char>(ip_len & 0xFF),
+        0, 0, 0, 0,           // id, flags
+        64, 17,               // ttl, protocol = UDP
+        0, 0};                // checksum (ignored)
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      ip.push_back(static_cast<unsigned char>((src_ip >> shift) & 0xFF));
+    }
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      ip.push_back(static_cast<unsigned char>((dst_ip >> shift) & 0xFF));
+    }
+    const std::uint16_t udp_len =
+        static_cast<std::uint16_t>(8 + payload_bytes);
+    std::vector<unsigned char> udp = {
+        static_cast<unsigned char>(src_port >> 8),
+        static_cast<unsigned char>(src_port & 0xFF),
+        static_cast<unsigned char>(dst_port >> 8),
+        static_cast<unsigned char>(dst_port & 0xFF),
+        static_cast<unsigned char>(udp_len >> 8),
+        static_cast<unsigned char>(udp_len & 0xFF),
+        0, 0};
+    frame.insert(frame.end(), ip.begin(), ip.end());
+    frame.insert(frame.end(), udp.begin(), udp.end());
+    frame.insert(frame.end(), payload_bytes, 0x42);
+
+    u32(ts_sec);
+    u32(ts_frac);
+    u32(static_cast<std::uint32_t>(frame.size()));  // incl_len
+    u32(static_cast<std::uint32_t>(frame.size()));  // orig_len
+    bytes_.insert(bytes_.end(), frame.begin(), frame.end());
+  }
+
+  /// Appends a non-UDP (TCP) IPv4 frame that must be skipped.
+  void add_tcp_frame(std::uint32_t ts_sec) {
+    std::vector<unsigned char> frame(14 + 20 + 20, 0);
+    frame[12] = 0x08;  // IPv4
+    frame[13] = 0x00;
+    frame[14] = 0x45;
+    frame[14 + 9] = 6;  // TCP
+    u32(ts_sec);
+    u32(0);
+    u32(static_cast<std::uint32_t>(frame.size()));
+    u32(static_cast<std::uint32_t>(frame.size()));
+    bytes_.insert(bytes_.end(), frame.begin(), frame.end());
+  }
+
+  [[nodiscard]] std::string str() const {
+    return {reinterpret_cast<const char*>(bytes_.data()), bytes_.size()};
+  }
+
+ private:
+  void u16(std::uint16_t v) {
+    if (big_endian_) {
+      bytes_.push_back(static_cast<unsigned char>(v >> 8));
+      bytes_.push_back(static_cast<unsigned char>(v & 0xFF));
+    } else {
+      bytes_.push_back(static_cast<unsigned char>(v & 0xFF));
+      bytes_.push_back(static_cast<unsigned char>(v >> 8));
+    }
+  }
+  void u32(std::uint32_t v) {
+    if (big_endian_) {
+      for (int shift = 24; shift >= 0; shift -= 8) {
+        bytes_.push_back(static_cast<unsigned char>((v >> shift) & 0xFF));
+      }
+    } else {
+      for (int shift = 0; shift <= 24; shift += 8) {
+        bytes_.push_back(static_cast<unsigned char>((v >> shift) & 0xFF));
+      }
+    }
+  }
+
+  bool big_endian_;
+  std::vector<unsigned char> bytes_;
+};
+
+const std::uint32_t kServerIp = ServerEndpoint::parse_ipv4("10.0.0.1");
+const std::uint32_t kClientA = ServerEndpoint::parse_ipv4("10.0.0.2");
+const std::uint32_t kClientB = ServerEndpoint::parse_ipv4("10.0.0.3");
+
+PcapReadOptions server_opt() {
+  PcapReadOptions opt;
+  opt.server.ipv4 = kServerIp;
+  opt.server.port = 27015;
+  return opt;
+}
+
+TEST(ParseIpv4, DottedDecimal) {
+  EXPECT_EQ(ServerEndpoint::parse_ipv4("192.168.0.1"), 0xC0A80001u);
+  EXPECT_EQ(ServerEndpoint::parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(ServerEndpoint::parse_ipv4("255.255.255.255"), 0xFFFFFFFFu);
+  EXPECT_THROW(ServerEndpoint::parse_ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(ServerEndpoint::parse_ipv4("1.2.3.999"),
+               std::invalid_argument);
+  EXPECT_THROW(ServerEndpoint::parse_ipv4("1.2.3.4.5"),
+               std::invalid_argument);
+}
+
+TEST(Pcap, ExtractsDirectionsFlowsAndSizes) {
+  PcapBuilder b;
+  // Client A -> server, 52 B payload, t = 1.5 s.
+  b.add_udp_frame(1, 500000, kClientA, 5555, kServerIp, 27015, 52);
+  // Server -> client A, 120 B payload, t = 1.52 s.
+  b.add_udp_frame(1, 520000, kServerIp, 27015, kClientA, 5555, 120);
+  // Client B -> server.
+  b.add_udp_frame(2, 0, kClientB, 6666, kServerIp, 27015, 52);
+  std::istringstream is{b.str()};
+  PcapReadStats stats;
+  const Trace t = read_pcap(is, server_opt(), &stats);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(stats.frames, 3u);
+  EXPECT_EQ(stats.udp_matched, 3u);
+  EXPECT_EQ(stats.skipped, 0u);
+
+  const auto& r0 = t.records()[0];
+  EXPECT_EQ(r0.direction, Direction::kClientToServer);
+  EXPECT_NEAR(r0.time_s, 1.5, 1e-9);
+  EXPECT_EQ(r0.size_bytes, 20u + 8u + 52u);  // IP total length
+  EXPECT_EQ(r0.flow_id, 0);
+
+  const auto& r1 = t.records()[1];
+  EXPECT_EQ(r1.direction, Direction::kServerToClient);
+  EXPECT_EQ(r1.flow_id, 0);  // same client A
+  EXPECT_EQ(r1.size_bytes, 20u + 8u + 120u);
+
+  EXPECT_EQ(t.records()[2].flow_id, 1);  // client B is a new flow
+}
+
+TEST(Pcap, NanosecondMagic) {
+  PcapBuilder b{0xA1B23C4D};
+  b.add_udp_frame(3, 250000000, kClientA, 5555, kServerIp, 27015, 10);
+  std::istringstream is{b.str()};
+  const Trace t = read_pcap(is, server_opt());
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_NEAR(t.records()[0].time_s, 3.25, 1e-9);
+}
+
+TEST(Pcap, SwappedByteOrder) {
+  // Big-endian producer: magic bytes appear swapped to a little-endian
+  // reader, headers must be byte-swapped.
+  PcapBuilder b{0xA1B2C3D4, 1, /*big_endian=*/true};
+  b.add_udp_frame(7, 0, kClientA, 5555, kServerIp, 27015, 33);
+  std::istringstream is{b.str()};
+  const Trace t = read_pcap(is, server_opt());
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_NEAR(t.records()[0].time_s, 7.0, 1e-9);
+  EXPECT_EQ(t.records()[0].size_bytes, 61u);
+}
+
+TEST(Pcap, VlanTaggedFrame) {
+  PcapBuilder b;
+  b.add_udp_frame(1, 0, kClientA, 5555, kServerIp, 27015, 40,
+                  /*vlan=*/true);
+  std::istringstream is{b.str()};
+  const Trace t = read_pcap(is, server_opt());
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.records()[0].size_bytes, 68u);
+}
+
+TEST(Pcap, RawIpLinktype) {
+  PcapBuilder b{0xA1B2C3D4, 101};
+  b.add_udp_frame(1, 0, kServerIp, 27015, kClientA, 5555, 25,
+                  /*vlan=*/false, /*ethernet=*/false);
+  std::istringstream is{b.str()};
+  const Trace t = read_pcap(is, server_opt());
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.records()[0].direction, Direction::kServerToClient);
+}
+
+TEST(Pcap, SkipsForeignAndNonUdpTraffic) {
+  PcapBuilder b;
+  b.add_tcp_frame(1);
+  b.add_udp_frame(2, 0, kClientA, 5555, kClientB, 7777, 10);  // not server
+  b.add_udp_frame(3, 0, kClientA, 5555, kServerIp, 27015, 10);
+  std::istringstream is{b.str()};
+  PcapReadStats stats;
+  const Trace t = read_pcap(is, server_opt(), &stats);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.frames, 3u);
+}
+
+TEST(Pcap, RejectsBadInput) {
+  {
+    std::istringstream is{"not a pcap"};
+    EXPECT_THROW(read_pcap(is, server_opt()), std::runtime_error);
+  }
+  {
+    PcapBuilder b{0xDEADBEEF};
+    std::istringstream is{b.str()};
+    EXPECT_THROW(read_pcap(is, server_opt()), std::runtime_error);
+  }
+  {
+    // Truncated packet body.
+    PcapBuilder b;
+    b.add_udp_frame(1, 0, kClientA, 5555, kServerIp, 27015, 10);
+    std::string s = b.str();
+    s.resize(s.size() - 5);
+    std::istringstream is{s};
+    EXPECT_THROW(read_pcap(is, server_opt()), std::runtime_error);
+  }
+  {
+    // Unsupported linktype.
+    PcapBuilder b{0xA1B2C3D4, 113};
+    std::istringstream is{b.str()};
+    EXPECT_THROW(read_pcap(is, server_opt()), std::runtime_error);
+  }
+}
+
+TEST(Pcap, FrameLengthOption) {
+  PcapBuilder b;
+  b.add_udp_frame(1, 0, kClientA, 5555, kServerIp, 27015, 52);
+  auto opt = server_opt();
+  opt.use_ip_length = false;
+  std::istringstream is{b.str()};
+  const Trace t = read_pcap(is, opt);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.records()[0].size_bytes, 14u + 20u + 8u + 52u);
+}
+
+}  // namespace
+}  // namespace fpsq::trace

@@ -1,0 +1,384 @@
+// fpsq — command-line front end to the library.
+//
+//   fpsq rtt        --gamers N [scenario flags]       ping-time quantiles
+//   fpsq dimension  --bound MS [scenario flags]       max load / gamers
+//   fpsq sweep      [scenario flags]                  load sweep (CSV)
+//   fpsq generate   --game NAME --out FILE [...]      synthetic trace
+//   fpsq analyze    --in FILE [--pcap ...]            Section-2.2 stats + K fits
+//   fpsq validate   --load RHO [...]                  model vs simulation
+//
+// Run `fpsq help` or `fpsq help <command>` for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dimensioning.h"
+#include "core/report.h"
+#include "core/rtt_model.h"
+#include "core/validation.h"
+#include "dist/fitting.h"
+#include "sim/trace_replay.h"
+#include "trace/analyzer.h"
+#include "trace/pcap.h"
+#include "trace/trace_io.h"
+#include "traffic/game_profiles.h"
+#include "traffic/synthetic.h"
+
+namespace {
+
+using namespace fpsq;
+
+/// Tiny --flag value parser: flags are "--name value" pairs.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        throw std::invalid_argument("expected --flag value pairs, got '" +
+                                    key + "'");
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  [[nodiscard]] std::string text(const std::string& key,
+                                 const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+core::AccessScenario scenario_from(const Args& args) {
+  core::AccessScenario s;
+  s.erlang_k = static_cast<int>(args.number("k", 9));
+  s.tick_ms = args.number("tick", 40.0);
+  s.server_packet_bytes = args.number("ps", 125.0);
+  s.client_packet_bytes = args.number("pc", 80.0);
+  s.bottleneck_bps = args.number("c", 5.0) * 1e6;
+  s.uplink_bps = args.number("rup", 128.0) * 1e3;
+  s.downlink_bps = args.number("rdown", 1024.0) * 1e3;
+  s.propagation_ms = args.number("prop", 0.0);
+  s.server_processing_ms = args.number("proc", 0.0);
+  s.tick_jitter_cov = args.number("jitter", 0.0);
+  s.validate();
+  return s;
+}
+
+void print_scenario(const core::AccessScenario& s) {
+  std::printf("# scenario: K=%d T=%.0fms PS=%.0fB PC=%.0fB C=%.1fMb/s "
+              "Rup=%.0fk Rdown=%.0fk\n",
+              s.erlang_k, s.tick_ms, s.server_packet_bytes,
+              s.client_packet_bytes, s.bottleneck_bps / 1e6,
+              s.uplink_bps / 1e3, s.downlink_bps / 1e3);
+}
+
+int cmd_rtt(const Args& args) {
+  const auto s = scenario_from(args);
+  const double n = args.number("gamers", 60.0);
+  const double eps = args.number("eps", 1e-5);
+  const core::RttModel m{s, n};
+  print_scenario(s);
+  const auto b = m.breakdown_ms(eps);
+  std::printf("gamers %.0f  rho_down %.3f  rho_up %.3f\n", n,
+              m.rho_down(), m.rho_up());
+  std::printf("mean RTT            %8.2f ms\n", m.rtt_mean_ms());
+  std::printf("RTT quantile (%g)  %8.2f ms\n", eps, b.total_ms);
+  std::printf("  deterministic     %8.2f ms\n", b.deterministic_ms);
+  std::printf("  upstream M/D/1    %8.2f ms\n", b.upstream_ms);
+  std::printf("  burst wait        %8.2f ms\n", b.burst_ms);
+  std::printf("  packet position   %8.2f ms\n", b.position_ms);
+  return 0;
+}
+
+int cmd_dimension(const Args& args) {
+  const auto s = scenario_from(args);
+  const double bound = args.number("bound", 50.0);
+  const double eps = args.number("eps", 1e-5);
+  const auto d = core::dimension_for_rtt(s, bound, eps);
+  print_scenario(s);
+  std::printf("RTT(%g) <= %.0f ms:  max load %.1f%%  max gamers %d  "
+              "(RTT at max %.1f ms)\n",
+              eps, bound, 100.0 * d.rho_max, d.n_max_int, d.rtt_at_max_ms);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto s = scenario_from(args);
+  const double eps = args.number("eps", 1e-5);
+  const double step = args.number("step", 0.05);
+  print_scenario(s);
+  std::printf("load,gamers,rtt_quantile_ms,rtt_mean_ms\n");
+  for (double rho = step; rho < 0.95; rho += step) {
+    const double n = s.clients_for_downlink_load(rho);
+    if (s.uplink_load(n) >= 0.999) break;
+    const core::RttModel m{s, n};
+    std::printf("%.3f,%.1f,%.2f,%.2f\n", rho, n, m.rtt_quantile_ms(eps),
+                m.rtt_mean_ms());
+  }
+  return 0;
+}
+
+traffic::GameProfile profile_by_name(const std::string& name, int players) {
+  if (name == "cs" || name == "counterstrike") {
+    return traffic::counter_strike();
+  }
+  if (name == "halflife" || name == "hl") return traffic::half_life();
+  if (name == "quake3" || name == "q3") return traffic::quake3(players);
+  if (name == "halo") return traffic::halo(players);
+  if (name == "ut" || name == "unreal") {
+    return traffic::unreal_tournament(players);
+  }
+  throw std::invalid_argument(
+      "unknown game '" + name + "' (use cs|halflife|quake3|halo|ut)");
+}
+
+int cmd_generate(const Args& args) {
+  const int players = static_cast<int>(args.number("players", 12));
+  const auto profile = profile_by_name(args.text("game", "ut"), players);
+  traffic::SyntheticTraceOptions opt;
+  opt.clients = players;
+  opt.duration_s = args.number("duration", 360.0);
+  opt.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const auto t = traffic::generate_trace(profile, opt);
+  const std::string out = args.text("out", "trace.csv");
+  trace::write_csv_file(out, t);
+  std::printf("%s: %zu packets over %.0f s -> %s\n", profile.name.c_str(),
+              t.size(), opt.duration_s, out.c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string in = args.text("in");
+  if (in.empty()) {
+    throw std::invalid_argument("analyze needs --in FILE");
+  }
+  trace::Trace t;
+  if (args.has("pcap")) {
+    trace::PcapReadOptions popt;
+    popt.server.ipv4 =
+        trace::ServerEndpoint::parse_ipv4(args.text("server-ip"));
+    popt.server.port =
+        static_cast<std::uint16_t>(args.number("server-port", 27015));
+    trace::PcapReadStats stats;
+    t = trace::read_pcap_file(in, popt, &stats);
+    std::printf("# pcap: %llu frames, %llu matched, %llu skipped\n",
+                static_cast<unsigned long long>(stats.frames),
+                static_cast<unsigned long long>(stats.udp_matched),
+                static_cast<unsigned long long>(stats.skipped));
+  } else {
+    t = trace::read_csv_file(in);
+  }
+  trace::AnalyzerOptions a;
+  a.gap_threshold_s = args.number("gap-ms", 8.0) * 1e-3;
+  const auto c = trace::analyze(t, a);
+  std::printf("packets %zu, duration %.1f s, clients %zu\n", t.size(),
+              t.duration_s(), t.flow_count(trace::Direction::kClientToServer));
+  std::printf("client->server: size %.1f B (CoV %.3f), IAT %.1f ms "
+              "(CoV %.3f)\n",
+              c.client_packet_size_bytes.mean(),
+              c.client_packet_size_bytes.cov(), c.client_iat_ms.mean(),
+              c.client_iat_ms.cov());
+  std::printf("server->client: size %.1f B (CoV %.3f), burst IAT %.1f ms "
+              "(CoV %.3f)\n",
+              c.server_packet_size_bytes.mean(),
+              c.server_packet_size_bytes.cov(), c.burst_iat_ms.mean(),
+              c.burst_iat_ms.cov());
+  std::printf("bursts: %zu, size %.0f B (CoV %.3f), %.1f packets/burst\n",
+              c.bursts.size(), c.burst_size_bytes.mean(),
+              c.burst_size_bytes.cov(), c.burst_packet_count.mean());
+  if (c.bursts.size() >= 100) {
+    const auto tdf = trace::burst_size_tdf(
+        c.bursts, 2.5 * c.burst_size_bytes.mean(), 100);
+    const auto tail = dist::erlang_fit_tail(c.burst_size_bytes.mean(),
+                                            tdf, 2, 64, 1e-4);
+    const auto mom = dist::erlang_fit_moments(c.burst_size_bytes.mean(),
+                                              c.burst_size_bytes.cov());
+    std::printf("Erlang order: K = %d (tail fit), K = %d (CoV fit)\n",
+                tail.k, mom.k());
+  }
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const auto s = scenario_from(args);
+  core::ReportOptions opt;
+  opt.n_clients = args.number("gamers", 60.0);
+  opt.epsilon = args.number("eps", 1e-5);
+  std::fputs(core::scenario_report_markdown(s, opt).c_str(), stdout);
+  return 0;
+}
+
+trace::Trace load_trace(const Args& args) {
+  const std::string in = args.text("in");
+  if (in.empty()) {
+    throw std::invalid_argument("need --in FILE");
+  }
+  if (args.has("pcap")) {
+    trace::PcapReadOptions popt;
+    popt.server.ipv4 =
+        trace::ServerEndpoint::parse_ipv4(args.text("server-ip"));
+    popt.server.port =
+        static_cast<std::uint16_t>(args.number("server-port", 27015));
+    return trace::read_pcap_file(in, popt);
+  }
+  return trace::read_csv_file(in);
+}
+
+int cmd_replay(const Args& args) {
+  const auto t = load_trace(args);
+  sim::TraceReplayConfig cfg;
+  cfg.bottleneck_bps = args.number("c", 5.0) * 1e6;
+  cfg.uplink_bps = args.number("rup", 128.0) * 1e3;
+  cfg.downlink_bps = args.number("rdown", 1024.0) * 1e3;
+  cfg.warmup_s = args.number("warmup", 2.0);
+  if (args.has("buffer")) {
+    cfg.bottleneck_buffer_packets =
+        static_cast<std::size_t>(args.number("buffer", 0.0));
+  }
+  const auto r = sim::replay_trace(t, cfg);
+  std::printf("replayed %zu packets (C = %.1f Mb/s, Rup = %.0f kb/s, "
+              "Rdown = %.0f kb/s)\n",
+              t.size(), cfg.bottleneck_bps / 1e6, cfg.uplink_bps / 1e3,
+              cfg.downlink_bps / 1e3);
+  auto report = [](const char* name, const sim::DelayTap& tap) {
+    std::printf("%-26s mean %7.3f  p99 %7.3f  p99.9 %7.3f ms\n", name,
+                tap.moments().mean() * 1e3,
+                tap.exact_quantile(0.99) * 1e3,
+                tap.exact_quantile(0.999) * 1e3);
+  };
+  report("upstream wait", r.upstream_wait);
+  report("upstream total", r.upstream_total);
+  report("downstream sojourn", r.downstream_sojourn);
+  report("downstream total", r.downstream_total);
+  if (cfg.bottleneck_buffer_packets > 0) {
+    std::printf("drops: upstream %llu, downstream %llu\n",
+                static_cast<unsigned long long>(r.upstream_drops),
+                static_cast<unsigned long long>(r.downstream_drops));
+  }
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  const auto s = scenario_from(args);
+  core::ValidationOptions opt;
+  opt.quantile_prob = args.number("prob", 0.999);
+  opt.duration_s = args.number("duration", 120.0);
+  opt.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const double rho = args.number("load", 0.5);
+  const int n = std::max(
+      1, static_cast<int>(s.clients_for_downlink_load(rho)));
+  print_scenario(s);
+  const auto p = core::validate_point(s, n, opt);
+  std::printf("load %.2f (N = %d), %.1f s simulated, quantile %.4f\n",
+              p.rho_down, p.n_clients, opt.duration_s, opt.quantile_prob);
+  std::printf("%-28s %10s %10s\n", "", "model", "simulated");
+  std::printf("%-28s %10.3f %10.3f\n", "upstream wait [ms]", p.model_up_ms,
+              p.sim_up_ms);
+  std::printf("%-28s %10.2f %10.2f\n", "downstream delay [ms]",
+              p.model_down_ms, p.sim_down_ms);
+  std::printf("%-28s %10.2f %10.2f\n", "model-RTT [ms]", p.model_rtt_ms,
+              p.sim_rtt_ms);
+  return 0;
+}
+
+int cmd_help(const std::string& topic) {
+  if (topic == "rtt") {
+    std::printf(
+        "fpsq rtt --gamers N [--eps 1e-5] [scenario flags]\n"
+        "  ping-time quantile and per-component breakdown\n");
+  } else if (topic == "dimension") {
+    std::printf(
+        "fpsq dimension --bound MS [--eps 1e-5] [scenario flags]\n"
+        "  largest load / gamer count meeting the RTT bound\n");
+  } else if (topic == "sweep") {
+    std::printf(
+        "fpsq sweep [--step 0.05] [--eps 1e-5] [scenario flags]\n"
+        "  CSV of RTT quantiles vs load (Figure-3 style)\n");
+  } else if (topic == "generate") {
+    std::printf(
+        "fpsq generate --game cs|halflife|quake3|halo|ut\n"
+        "              [--players 12] [--duration 360] [--seed 1]\n"
+        "              [--out trace.csv]\n");
+  } else if (topic == "analyze") {
+    std::printf(
+        "fpsq analyze --in FILE [--gap-ms 8]\n"
+        "             [--pcap 1 --server-ip A.B.C.D --server-port P]\n"
+        "  Section-2.2 statistics and Erlang-order fits\n");
+  } else if (topic == "replay") {
+    std::printf(
+        "fpsq replay --in FILE [--pcap 1 --server-ip A.B.C.D"
+        " --server-port P]\n"
+        "            [--c 5] [--rup 128] [--rdown 1024] [--warmup 2]\n"
+        "            [--buffer N]\n"
+        "  trace-driven simulation: the delays this recorded session"
+        " would\n  see on the given access network\n");
+  } else if (topic == "validate") {
+    std::printf(
+        "fpsq validate [--load 0.5] [--duration 120] [--prob 0.999]\n"
+        "              [--seed 1] [scenario flags]\n"
+        "  analytic model vs packet-level simulation\n");
+  } else {
+    std::printf(
+        "fpsq <command> [--flag value ...]\n\n"
+        "commands: rtt report dimension sweep generate analyze replay"
+        " validate help\n\n"
+        "scenario flags (defaults = paper Section 4):\n"
+        "  --k 9          burst-size Erlang order\n"
+        "  --tick 40      tick interval T [ms]\n"
+        "  --ps 125       mean server packet size P_S [bytes]\n"
+        "  --pc 80        client packet size P_C [bytes]\n"
+        "  --c 5          gaming bottleneck capacity C [Mb/s]\n"
+        "  --rup 128      access uplink [kb/s]\n"
+        "  --rdown 1024   access downlink [kb/s]\n"
+        "  --prop 0       one-way propagation [ms]\n"
+        "  --proc 0       server processing [ms]\n"
+        "  --jitter 0     server tick CoV (0 = paper's Det ticks;\n"
+        "                 > 0 uses the exact GI/E_K/1 model)\n\n"
+        "`fpsq help <command>` shows command-specific flags.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return cmd_help("");
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      return cmd_help(argc > 2 ? argv[2] : "");
+    }
+    const Args args{argc, argv, 2};
+    if (cmd == "rtt") return cmd_rtt(args);
+    if (cmd == "report") return cmd_report(args);
+    if (cmd == "dimension") return cmd_dimension(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "validate") return cmd_validate(args);
+    std::fprintf(stderr, "unknown command '%s' (try: fpsq help)\n",
+                 cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fpsq %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
