@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_inversion"
+  "../bench/bench_ablation_inversion.pdb"
+  "CMakeFiles/bench_ablation_inversion.dir/bench_ablation_inversion.cpp.o"
+  "CMakeFiles/bench_ablation_inversion.dir/bench_ablation_inversion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_buffer"
+  "../bench/bench_ext_buffer.pdb"
+  "CMakeFiles/bench_ext_buffer.dir/bench_ext_buffer.cpp.o"
+  "CMakeFiles/bench_ext_buffer.dir/bench_ext_buffer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_games"
+  "../bench/bench_ext_games.pdb"
+  "CMakeFiles/bench_ext_games.dir/bench_ext_games.cpp.o"
+  "CMakeFiles/bench_ext_games.dir/bench_ext_games.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_jitter"
+  "../bench/bench_ext_jitter.pdb"
+  "CMakeFiles/bench_ext_jitter.dir/bench_ext_jitter.cpp.o"
+  "CMakeFiles/bench_ext_jitter.dir/bench_ext_jitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

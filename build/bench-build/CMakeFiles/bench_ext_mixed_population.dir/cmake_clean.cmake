@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_mixed_population"
+  "../bench/bench_ext_mixed_population.pdb"
+  "CMakeFiles/bench_ext_mixed_population.dir/bench_ext_mixed_population.cpp.o"
+  "CMakeFiles/bench_ext_mixed_population.dir/bench_ext_mixed_population.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mixed_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

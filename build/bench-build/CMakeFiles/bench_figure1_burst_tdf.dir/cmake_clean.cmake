@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure1_burst_tdf"
+  "../bench/bench_figure1_burst_tdf.pdb"
+  "CMakeFiles/bench_figure1_burst_tdf.dir/bench_figure1_burst_tdf.cpp.o"
+  "CMakeFiles/bench_figure1_burst_tdf.dir/bench_figure1_burst_tdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_burst_tdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure3_erlang_order"
+  "../bench/bench_figure3_erlang_order.pdb"
+  "CMakeFiles/bench_figure3_erlang_order.dir/bench_figure3_erlang_order.cpp.o"
+  "CMakeFiles/bench_figure3_erlang_order.dir/bench_figure3_erlang_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_erlang_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure4_iat"
+  "../bench/bench_figure4_iat.pdb"
+  "CMakeFiles/bench_figure4_iat.dir/bench_figure4_iat.cpp.o"
+  "CMakeFiles/bench_figure4_iat.dir/bench_figure4_iat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_iat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sensitivity_ps"
+  "../bench/bench_sensitivity_ps.pdb"
+  "CMakeFiles/bench_sensitivity_ps.dir/bench_sensitivity_ps.cpp.o"
+  "CMakeFiles/bench_sensitivity_ps.dir/bench_sensitivity_ps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_counterstrike"
+  "../bench/bench_table1_counterstrike.pdb"
+  "CMakeFiles/bench_table1_counterstrike.dir/bench_table1_counterstrike.cpp.o"
+  "CMakeFiles/bench_table1_counterstrike.dir/bench_table1_counterstrike.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_counterstrike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_halflife"
+  "../bench/bench_table2_halflife.pdb"
+  "CMakeFiles/bench_table2_halflife.dir/bench_table2_halflife.cpp.o"
+  "CMakeFiles/bench_table2_halflife.dir/bench_table2_halflife.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_halflife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_unreal"
+  "../bench/bench_table3_unreal.pdb"
+  "CMakeFiles/bench_table3_unreal.dir/bench_table3_unreal.cpp.o"
+  "CMakeFiles/bench_table3_unreal.dir/bench_table3_unreal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_unreal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_dimensioning"
+  "../bench/bench_table4_dimensioning.pdb"
+  "CMakeFiles/bench_table4_dimensioning.dir/bench_table4_dimensioning.cpp.o"
+  "CMakeFiles/bench_table4_dimensioning.dir/bench_table4_dimensioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_capacity_planner.dir/dsl_capacity_planner.cpp.o"
+  "CMakeFiles/dsl_capacity_planner.dir/dsl_capacity_planner.cpp.o.d"
+  "dsl_capacity_planner"
+  "dsl_capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

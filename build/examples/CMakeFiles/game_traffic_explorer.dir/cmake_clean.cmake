@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_traffic_explorer.dir/game_traffic_explorer.cpp.o"
+  "CMakeFiles/game_traffic_explorer.dir/game_traffic_explorer.cpp.o.d"
+  "game_traffic_explorer"
+  "game_traffic_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_traffic_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_study.dir/isolation_study.cpp.o"
+  "CMakeFiles/isolation_study.dir/isolation_study.cpp.o.d"
+  "isolation_study"
+  "isolation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

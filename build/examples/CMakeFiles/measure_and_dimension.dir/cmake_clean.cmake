@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_and_dimension.dir/measure_and_dimension.cpp.o"
+  "CMakeFiles/measure_and_dimension.dir/measure_and_dimension.cpp.o.d"
+  "measure_and_dimension"
+  "measure_and_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_and_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

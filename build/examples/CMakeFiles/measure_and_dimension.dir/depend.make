@@ -1,0 +1,2 @@
+# Empty dependencies file for measure_and_dimension.
+# This may be replaced when dependencies are built.

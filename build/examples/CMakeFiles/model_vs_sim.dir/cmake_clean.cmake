@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vs_sim.dir/model_vs_sim.cpp.o"
+  "CMakeFiles/model_vs_sim.dir/model_vs_sim.cpp.o.d"
+  "model_vs_sim"
+  "model_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

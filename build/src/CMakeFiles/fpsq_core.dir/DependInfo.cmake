@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dimensioning.cpp" "src/CMakeFiles/fpsq_core.dir/core/dimensioning.cpp.o" "gcc" "src/CMakeFiles/fpsq_core.dir/core/dimensioning.cpp.o.d"
+  "/root/repo/src/core/mixed_population.cpp" "src/CMakeFiles/fpsq_core.dir/core/mixed_population.cpp.o" "gcc" "src/CMakeFiles/fpsq_core.dir/core/mixed_population.cpp.o.d"
+  "/root/repo/src/core/multi_server.cpp" "src/CMakeFiles/fpsq_core.dir/core/multi_server.cpp.o" "gcc" "src/CMakeFiles/fpsq_core.dir/core/multi_server.cpp.o.d"
+  "/root/repo/src/core/playability.cpp" "src/CMakeFiles/fpsq_core.dir/core/playability.cpp.o" "gcc" "src/CMakeFiles/fpsq_core.dir/core/playability.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/fpsq_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/fpsq_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/rtt_model.cpp" "src/CMakeFiles/fpsq_core.dir/core/rtt_model.cpp.o" "gcc" "src/CMakeFiles/fpsq_core.dir/core/rtt_model.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/fpsq_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/fpsq_core.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/CMakeFiles/fpsq_core.dir/core/validation.cpp.o" "gcc" "src/CMakeFiles/fpsq_core.dir/core/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpsq_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

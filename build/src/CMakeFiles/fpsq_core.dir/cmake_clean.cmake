@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq_core.dir/core/dimensioning.cpp.o"
+  "CMakeFiles/fpsq_core.dir/core/dimensioning.cpp.o.d"
+  "CMakeFiles/fpsq_core.dir/core/mixed_population.cpp.o"
+  "CMakeFiles/fpsq_core.dir/core/mixed_population.cpp.o.d"
+  "CMakeFiles/fpsq_core.dir/core/multi_server.cpp.o"
+  "CMakeFiles/fpsq_core.dir/core/multi_server.cpp.o.d"
+  "CMakeFiles/fpsq_core.dir/core/playability.cpp.o"
+  "CMakeFiles/fpsq_core.dir/core/playability.cpp.o.d"
+  "CMakeFiles/fpsq_core.dir/core/report.cpp.o"
+  "CMakeFiles/fpsq_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/fpsq_core.dir/core/rtt_model.cpp.o"
+  "CMakeFiles/fpsq_core.dir/core/rtt_model.cpp.o.d"
+  "CMakeFiles/fpsq_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/fpsq_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/fpsq_core.dir/core/validation.cpp.o"
+  "CMakeFiles/fpsq_core.dir/core/validation.cpp.o.d"
+  "libfpsq_core.a"
+  "libfpsq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

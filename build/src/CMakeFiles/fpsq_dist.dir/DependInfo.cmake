@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/deterministic.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/deterministic.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/deterministic.cpp.o.d"
+  "/root/repo/src/dist/distribution.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/distribution.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/distribution.cpp.o.d"
+  "/root/repo/src/dist/erlang.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/erlang.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/erlang.cpp.o.d"
+  "/root/repo/src/dist/exponential.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/exponential.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/exponential.cpp.o.d"
+  "/root/repo/src/dist/extreme.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/extreme.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/extreme.cpp.o.d"
+  "/root/repo/src/dist/fitting.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/fitting.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/fitting.cpp.o.d"
+  "/root/repo/src/dist/gamma.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/gamma.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/gamma.cpp.o.d"
+  "/root/repo/src/dist/lognormal.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/lognormal.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/lognormal.cpp.o.d"
+  "/root/repo/src/dist/mixture.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/mixture.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/mixture.cpp.o.d"
+  "/root/repo/src/dist/normal.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/normal.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/normal.cpp.o.d"
+  "/root/repo/src/dist/pareto.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/pareto.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/pareto.cpp.o.d"
+  "/root/repo/src/dist/rng.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/rng.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/rng.cpp.o.d"
+  "/root/repo/src/dist/shifted.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/shifted.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/shifted.cpp.o.d"
+  "/root/repo/src/dist/uniform.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/uniform.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/uniform.cpp.o.d"
+  "/root/repo/src/dist/weibull.cpp" "src/CMakeFiles/fpsq_dist.dir/dist/weibull.cpp.o" "gcc" "src/CMakeFiles/fpsq_dist.dir/dist/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpsq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

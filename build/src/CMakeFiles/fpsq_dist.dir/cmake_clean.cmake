@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq_dist.dir/dist/deterministic.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/deterministic.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/distribution.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/distribution.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/erlang.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/erlang.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/exponential.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/exponential.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/extreme.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/extreme.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/fitting.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/fitting.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/gamma.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/gamma.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/lognormal.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/lognormal.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/mixture.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/mixture.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/normal.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/normal.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/pareto.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/pareto.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/rng.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/rng.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/shifted.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/shifted.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/uniform.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/uniform.cpp.o.d"
+  "CMakeFiles/fpsq_dist.dir/dist/weibull.cpp.o"
+  "CMakeFiles/fpsq_dist.dir/dist/weibull.cpp.o.d"
+  "libfpsq_dist.a"
+  "libfpsq_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/fixed_point.cpp" "src/CMakeFiles/fpsq_math.dir/math/fixed_point.cpp.o" "gcc" "src/CMakeFiles/fpsq_math.dir/math/fixed_point.cpp.o.d"
+  "/root/repo/src/math/laplace.cpp" "src/CMakeFiles/fpsq_math.dir/math/laplace.cpp.o" "gcc" "src/CMakeFiles/fpsq_math.dir/math/laplace.cpp.o.d"
+  "/root/repo/src/math/linalg.cpp" "src/CMakeFiles/fpsq_math.dir/math/linalg.cpp.o" "gcc" "src/CMakeFiles/fpsq_math.dir/math/linalg.cpp.o.d"
+  "/root/repo/src/math/minimize.cpp" "src/CMakeFiles/fpsq_math.dir/math/minimize.cpp.o" "gcc" "src/CMakeFiles/fpsq_math.dir/math/minimize.cpp.o.d"
+  "/root/repo/src/math/polynomial_roots.cpp" "src/CMakeFiles/fpsq_math.dir/math/polynomial_roots.cpp.o" "gcc" "src/CMakeFiles/fpsq_math.dir/math/polynomial_roots.cpp.o.d"
+  "/root/repo/src/math/quadrature.cpp" "src/CMakeFiles/fpsq_math.dir/math/quadrature.cpp.o" "gcc" "src/CMakeFiles/fpsq_math.dir/math/quadrature.cpp.o.d"
+  "/root/repo/src/math/roots.cpp" "src/CMakeFiles/fpsq_math.dir/math/roots.cpp.o" "gcc" "src/CMakeFiles/fpsq_math.dir/math/roots.cpp.o.d"
+  "/root/repo/src/math/special.cpp" "src/CMakeFiles/fpsq_math.dir/math/special.cpp.o" "gcc" "src/CMakeFiles/fpsq_math.dir/math/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq_math.dir/math/fixed_point.cpp.o"
+  "CMakeFiles/fpsq_math.dir/math/fixed_point.cpp.o.d"
+  "CMakeFiles/fpsq_math.dir/math/laplace.cpp.o"
+  "CMakeFiles/fpsq_math.dir/math/laplace.cpp.o.d"
+  "CMakeFiles/fpsq_math.dir/math/linalg.cpp.o"
+  "CMakeFiles/fpsq_math.dir/math/linalg.cpp.o.d"
+  "CMakeFiles/fpsq_math.dir/math/minimize.cpp.o"
+  "CMakeFiles/fpsq_math.dir/math/minimize.cpp.o.d"
+  "CMakeFiles/fpsq_math.dir/math/polynomial_roots.cpp.o"
+  "CMakeFiles/fpsq_math.dir/math/polynomial_roots.cpp.o.d"
+  "CMakeFiles/fpsq_math.dir/math/quadrature.cpp.o"
+  "CMakeFiles/fpsq_math.dir/math/quadrature.cpp.o.d"
+  "CMakeFiles/fpsq_math.dir/math/roots.cpp.o"
+  "CMakeFiles/fpsq_math.dir/math/roots.cpp.o.d"
+  "CMakeFiles/fpsq_math.dir/math/special.cpp.o"
+  "CMakeFiles/fpsq_math.dir/math/special.cpp.o.d"
+  "libfpsq_math.a"
+  "libfpsq_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpsq_math.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/bounds.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/bounds.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/bounds.cpp.o.d"
+  "/root/repo/src/queueing/chernoff.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/chernoff.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/chernoff.cpp.o.d"
+  "/root/repo/src/queueing/convolution.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/convolution.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/convolution.cpp.o.d"
+  "/root/repo/src/queueing/dek1.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/dek1.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/dek1.cpp.o.d"
+  "/root/repo/src/queueing/erlang_mix.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/erlang_mix.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/erlang_mix.cpp.o.d"
+  "/root/repo/src/queueing/giek1.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/giek1.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/giek1.cpp.o.d"
+  "/root/repo/src/queueing/lindley.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/lindley.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/lindley.cpp.o.d"
+  "/root/repo/src/queueing/mg1.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/mg1.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/mg1.cpp.o.d"
+  "/root/repo/src/queueing/mg1_erlang_service.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/mg1_erlang_service.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/mg1_erlang_service.cpp.o.d"
+  "/root/repo/src/queueing/ndd1.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/ndd1.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/ndd1.cpp.o.d"
+  "/root/repo/src/queueing/position_delay.cpp" "src/CMakeFiles/fpsq_queueing.dir/queueing/position_delay.cpp.o" "gcc" "src/CMakeFiles/fpsq_queueing.dir/queueing/position_delay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpsq_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

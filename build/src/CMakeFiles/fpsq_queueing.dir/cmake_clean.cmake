@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq_queueing.dir/queueing/bounds.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/bounds.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/chernoff.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/chernoff.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/convolution.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/convolution.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/dek1.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/dek1.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/erlang_mix.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/erlang_mix.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/giek1.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/giek1.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/lindley.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/lindley.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/mg1.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/mg1.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/mg1_erlang_service.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/mg1_erlang_service.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/ndd1.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/ndd1.cpp.o.d"
+  "CMakeFiles/fpsq_queueing.dir/queueing/position_delay.cpp.o"
+  "CMakeFiles/fpsq_queueing.dir/queueing/position_delay.cpp.o.d"
+  "libfpsq_queueing.a"
+  "libfpsq_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cross_traffic.cpp" "src/CMakeFiles/fpsq_sim.dir/sim/cross_traffic.cpp.o" "gcc" "src/CMakeFiles/fpsq_sim.dir/sim/cross_traffic.cpp.o.d"
+  "/root/repo/src/sim/event_kernel.cpp" "src/CMakeFiles/fpsq_sim.dir/sim/event_kernel.cpp.o" "gcc" "src/CMakeFiles/fpsq_sim.dir/sim/event_kernel.cpp.o.d"
+  "/root/repo/src/sim/gaming_scenario.cpp" "src/CMakeFiles/fpsq_sim.dir/sim/gaming_scenario.cpp.o" "gcc" "src/CMakeFiles/fpsq_sim.dir/sim/gaming_scenario.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/fpsq_sim.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/fpsq_sim.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/measurement.cpp" "src/CMakeFiles/fpsq_sim.dir/sim/measurement.cpp.o" "gcc" "src/CMakeFiles/fpsq_sim.dir/sim/measurement.cpp.o.d"
+  "/root/repo/src/sim/queues.cpp" "src/CMakeFiles/fpsq_sim.dir/sim/queues.cpp.o" "gcc" "src/CMakeFiles/fpsq_sim.dir/sim/queues.cpp.o.d"
+  "/root/repo/src/sim/trace_replay.cpp" "src/CMakeFiles/fpsq_sim.dir/sim/trace_replay.cpp.o" "gcc" "src/CMakeFiles/fpsq_sim.dir/sim/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpsq_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

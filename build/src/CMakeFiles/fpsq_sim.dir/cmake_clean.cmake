@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq_sim.dir/sim/cross_traffic.cpp.o"
+  "CMakeFiles/fpsq_sim.dir/sim/cross_traffic.cpp.o.d"
+  "CMakeFiles/fpsq_sim.dir/sim/event_kernel.cpp.o"
+  "CMakeFiles/fpsq_sim.dir/sim/event_kernel.cpp.o.d"
+  "CMakeFiles/fpsq_sim.dir/sim/gaming_scenario.cpp.o"
+  "CMakeFiles/fpsq_sim.dir/sim/gaming_scenario.cpp.o.d"
+  "CMakeFiles/fpsq_sim.dir/sim/link.cpp.o"
+  "CMakeFiles/fpsq_sim.dir/sim/link.cpp.o.d"
+  "CMakeFiles/fpsq_sim.dir/sim/measurement.cpp.o"
+  "CMakeFiles/fpsq_sim.dir/sim/measurement.cpp.o.d"
+  "CMakeFiles/fpsq_sim.dir/sim/queues.cpp.o"
+  "CMakeFiles/fpsq_sim.dir/sim/queues.cpp.o.d"
+  "CMakeFiles/fpsq_sim.dir/sim/trace_replay.cpp.o"
+  "CMakeFiles/fpsq_sim.dir/sim/trace_replay.cpp.o.d"
+  "libfpsq_sim.a"
+  "libfpsq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

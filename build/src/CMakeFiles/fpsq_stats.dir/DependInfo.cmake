@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cpp" "src/CMakeFiles/fpsq_stats.dir/stats/autocorrelation.cpp.o" "gcc" "src/CMakeFiles/fpsq_stats.dir/stats/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/batch_means.cpp" "src/CMakeFiles/fpsq_stats.dir/stats/batch_means.cpp.o" "gcc" "src/CMakeFiles/fpsq_stats.dir/stats/batch_means.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/CMakeFiles/fpsq_stats.dir/stats/empirical.cpp.o" "gcc" "src/CMakeFiles/fpsq_stats.dir/stats/empirical.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/fpsq_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/fpsq_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/CMakeFiles/fpsq_stats.dir/stats/moments.cpp.o" "gcc" "src/CMakeFiles/fpsq_stats.dir/stats/moments.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/CMakeFiles/fpsq_stats.dir/stats/quantile.cpp.o" "gcc" "src/CMakeFiles/fpsq_stats.dir/stats/quantile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpsq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq_stats.dir/stats/autocorrelation.cpp.o"
+  "CMakeFiles/fpsq_stats.dir/stats/autocorrelation.cpp.o.d"
+  "CMakeFiles/fpsq_stats.dir/stats/batch_means.cpp.o"
+  "CMakeFiles/fpsq_stats.dir/stats/batch_means.cpp.o.d"
+  "CMakeFiles/fpsq_stats.dir/stats/empirical.cpp.o"
+  "CMakeFiles/fpsq_stats.dir/stats/empirical.cpp.o.d"
+  "CMakeFiles/fpsq_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/fpsq_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/fpsq_stats.dir/stats/moments.cpp.o"
+  "CMakeFiles/fpsq_stats.dir/stats/moments.cpp.o.d"
+  "CMakeFiles/fpsq_stats.dir/stats/quantile.cpp.o"
+  "CMakeFiles/fpsq_stats.dir/stats/quantile.cpp.o.d"
+  "libfpsq_stats.a"
+  "libfpsq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/CMakeFiles/fpsq_trace.dir/trace/analyzer.cpp.o" "gcc" "src/CMakeFiles/fpsq_trace.dir/trace/analyzer.cpp.o.d"
+  "/root/repo/src/trace/burst.cpp" "src/CMakeFiles/fpsq_trace.dir/trace/burst.cpp.o" "gcc" "src/CMakeFiles/fpsq_trace.dir/trace/burst.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/CMakeFiles/fpsq_trace.dir/trace/pcap.cpp.o" "gcc" "src/CMakeFiles/fpsq_trace.dir/trace/pcap.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/fpsq_trace.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/fpsq_trace.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/fpsq_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/fpsq_trace.dir/trace/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpsq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq_trace.dir/trace/analyzer.cpp.o"
+  "CMakeFiles/fpsq_trace.dir/trace/analyzer.cpp.o.d"
+  "CMakeFiles/fpsq_trace.dir/trace/burst.cpp.o"
+  "CMakeFiles/fpsq_trace.dir/trace/burst.cpp.o.d"
+  "CMakeFiles/fpsq_trace.dir/trace/pcap.cpp.o"
+  "CMakeFiles/fpsq_trace.dir/trace/pcap.cpp.o.d"
+  "CMakeFiles/fpsq_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/fpsq_trace.dir/trace/trace.cpp.o.d"
+  "CMakeFiles/fpsq_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/fpsq_trace.dir/trace/trace_io.cpp.o.d"
+  "libfpsq_trace.a"
+  "libfpsq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

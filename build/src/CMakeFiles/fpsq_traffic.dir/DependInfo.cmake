@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/client_source.cpp" "src/CMakeFiles/fpsq_traffic.dir/traffic/client_source.cpp.o" "gcc" "src/CMakeFiles/fpsq_traffic.dir/traffic/client_source.cpp.o.d"
+  "/root/repo/src/traffic/game_profiles.cpp" "src/CMakeFiles/fpsq_traffic.dir/traffic/game_profiles.cpp.o" "gcc" "src/CMakeFiles/fpsq_traffic.dir/traffic/game_profiles.cpp.o.d"
+  "/root/repo/src/traffic/server_source.cpp" "src/CMakeFiles/fpsq_traffic.dir/traffic/server_source.cpp.o" "gcc" "src/CMakeFiles/fpsq_traffic.dir/traffic/server_source.cpp.o.d"
+  "/root/repo/src/traffic/synthetic.cpp" "src/CMakeFiles/fpsq_traffic.dir/traffic/synthetic.cpp.o" "gcc" "src/CMakeFiles/fpsq_traffic.dir/traffic/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpsq_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpsq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq_traffic.dir/traffic/client_source.cpp.o"
+  "CMakeFiles/fpsq_traffic.dir/traffic/client_source.cpp.o.d"
+  "CMakeFiles/fpsq_traffic.dir/traffic/game_profiles.cpp.o"
+  "CMakeFiles/fpsq_traffic.dir/traffic/game_profiles.cpp.o.d"
+  "CMakeFiles/fpsq_traffic.dir/traffic/server_source.cpp.o"
+  "CMakeFiles/fpsq_traffic.dir/traffic/server_source.cpp.o.d"
+  "CMakeFiles/fpsq_traffic.dir/traffic/synthetic.cpp.o"
+  "CMakeFiles/fpsq_traffic.dir/traffic/synthetic.cpp.o.d"
+  "libfpsq_traffic.a"
+  "libfpsq_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

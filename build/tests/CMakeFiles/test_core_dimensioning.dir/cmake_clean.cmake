@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dimensioning.dir/test_core_dimensioning.cpp.o"
+  "CMakeFiles/test_core_dimensioning.dir/test_core_dimensioning.cpp.o.d"
+  "test_core_dimensioning"
+  "test_core_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

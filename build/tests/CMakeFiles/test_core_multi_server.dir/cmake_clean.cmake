@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multi_server.dir/test_core_multi_server.cpp.o"
+  "CMakeFiles/test_core_multi_server.dir/test_core_multi_server.cpp.o.d"
+  "test_core_multi_server"
+  "test_core_multi_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multi_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_playability.dir/test_core_playability.cpp.o"
+  "CMakeFiles/test_core_playability.dir/test_core_playability.cpp.o.d"
+  "test_core_playability"
+  "test_core_playability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_playability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rtt_properties.dir/test_core_rtt_properties.cpp.o"
+  "CMakeFiles/test_core_rtt_properties.dir/test_core_rtt_properties.cpp.o.d"
+  "test_core_rtt_properties"
+  "test_core_rtt_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rtt_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_basic.dir/test_dist_basic.cpp.o"
+  "CMakeFiles/test_dist_basic.dir/test_dist_basic.cpp.o.d"
+  "test_dist_basic"
+  "test_dist_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_fitting.dir/test_dist_fitting.cpp.o"
+  "CMakeFiles/test_dist_fitting.dir/test_dist_fitting.cpp.o.d"
+  "test_dist_fitting"
+  "test_dist_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

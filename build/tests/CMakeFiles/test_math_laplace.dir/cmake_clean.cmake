@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_laplace.dir/test_math_laplace.cpp.o"
+  "CMakeFiles/test_math_laplace.dir/test_math_laplace.cpp.o.d"
+  "test_math_laplace"
+  "test_math_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_linalg.dir/test_math_linalg.cpp.o"
+  "CMakeFiles/test_math_linalg.dir/test_math_linalg.cpp.o.d"
+  "test_math_linalg"
+  "test_math_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

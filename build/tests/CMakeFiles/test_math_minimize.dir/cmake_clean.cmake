@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_minimize.dir/test_math_minimize.cpp.o"
+  "CMakeFiles/test_math_minimize.dir/test_math_minimize.cpp.o.d"
+  "test_math_minimize"
+  "test_math_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_quadrature.dir/test_math_quadrature.cpp.o"
+  "CMakeFiles/test_math_quadrature.dir/test_math_quadrature.cpp.o.d"
+  "test_math_quadrature"
+  "test_math_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_roots.dir/test_math_roots.cpp.o"
+  "CMakeFiles/test_math_roots.dir/test_math_roots.cpp.o.d"
+  "test_math_roots"
+  "test_math_roots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_roots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_bounds.dir/test_queueing_bounds.cpp.o"
+  "CMakeFiles/test_queueing_bounds.dir/test_queueing_bounds.cpp.o.d"
+  "test_queueing_bounds"
+  "test_queueing_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_chernoff.dir/test_queueing_chernoff.cpp.o"
+  "CMakeFiles/test_queueing_chernoff.dir/test_queueing_chernoff.cpp.o.d"
+  "test_queueing_chernoff"
+  "test_queueing_chernoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_chernoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_convolution.dir/test_queueing_convolution.cpp.o"
+  "CMakeFiles/test_queueing_convolution.dir/test_queueing_convolution.cpp.o.d"
+  "test_queueing_convolution"
+  "test_queueing_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_erlang_mix.dir/test_queueing_erlang_mix.cpp.o"
+  "CMakeFiles/test_queueing_erlang_mix.dir/test_queueing_erlang_mix.cpp.o.d"
+  "test_queueing_erlang_mix"
+  "test_queueing_erlang_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_erlang_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_queueing_erlang_mix.
+# This may be replaced when dependencies are built.

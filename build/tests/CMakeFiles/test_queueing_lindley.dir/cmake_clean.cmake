@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_lindley.dir/test_queueing_lindley.cpp.o"
+  "CMakeFiles/test_queueing_lindley.dir/test_queueing_lindley.cpp.o.d"
+  "test_queueing_lindley"
+  "test_queueing_lindley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_lindley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

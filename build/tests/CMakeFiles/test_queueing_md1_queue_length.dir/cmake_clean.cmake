@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_md1_queue_length.dir/test_queueing_md1_queue_length.cpp.o"
+  "CMakeFiles/test_queueing_md1_queue_length.dir/test_queueing_md1_queue_length.cpp.o.d"
+  "test_queueing_md1_queue_length"
+  "test_queueing_md1_queue_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_md1_queue_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_queueing_md1_queue_length.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_mg1_erlang.dir/test_queueing_mg1_erlang.cpp.o"
+  "CMakeFiles/test_queueing_mg1_erlang.dir/test_queueing_mg1_erlang.cpp.o.d"
+  "test_queueing_mg1_erlang"
+  "test_queueing_mg1_erlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_mg1_erlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_queueing_mg1_erlang.
+# This may be replaced when dependencies are built.

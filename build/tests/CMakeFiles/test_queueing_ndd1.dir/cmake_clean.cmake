@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_ndd1.dir/test_queueing_ndd1.cpp.o"
+  "CMakeFiles/test_queueing_ndd1.dir/test_queueing_ndd1.cpp.o.d"
+  "test_queueing_ndd1"
+  "test_queueing_ndd1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_ndd1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

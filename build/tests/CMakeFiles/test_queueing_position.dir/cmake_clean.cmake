@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing_position.dir/test_queueing_position.cpp.o"
+  "CMakeFiles/test_queueing_position.dir/test_queueing_position.cpp.o.d"
+  "test_queueing_position"
+  "test_queueing_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_jitter.dir/test_sim_jitter.cpp.o"
+  "CMakeFiles/test_sim_jitter.dir/test_sim_jitter.cpp.o.d"
+  "test_sim_jitter"
+  "test_sim_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_queue_theory.dir/test_sim_queue_theory.cpp.o"
+  "CMakeFiles/test_sim_queue_theory.dir/test_sim_queue_theory.cpp.o.d"
+  "test_sim_queue_theory"
+  "test_sim_queue_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_queue_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

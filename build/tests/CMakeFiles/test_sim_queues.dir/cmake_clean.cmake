@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_queues.dir/test_sim_queues.cpp.o"
+  "CMakeFiles/test_sim_queues.dir/test_sim_queues.cpp.o.d"
+  "test_sim_queues"
+  "test_sim_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

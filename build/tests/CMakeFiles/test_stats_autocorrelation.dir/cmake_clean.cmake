@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_autocorrelation.dir/test_stats_autocorrelation.cpp.o"
+  "CMakeFiles/test_stats_autocorrelation.dir/test_stats_autocorrelation.cpp.o.d"
+  "test_stats_autocorrelation"
+  "test_stats_autocorrelation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_autocorrelation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_pcap.dir/test_trace_pcap.cpp.o"
+  "CMakeFiles/test_trace_pcap.dir/test_trace_pcap.cpp.o.d"
+  "test_trace_pcap"
+  "test_trace_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

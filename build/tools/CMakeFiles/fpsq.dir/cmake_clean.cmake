@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsq.dir/fpsq.cpp.o"
+  "CMakeFiles/fpsq.dir/fpsq.cpp.o.d"
+  "fpsq"
+  "fpsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_rtt "/root/repo/build/tools/fpsq" "rtt" "--gamers" "80" "--k" "9")
+set_tests_properties(cli_rtt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/fpsq" "report" "--gamers" "80" "--k" "9" "--jitter" "0.07")
+set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dimension "/root/repo/build/tools/fpsq" "dimension" "--bound" "50" "--k" "9")
+set_tests_properties(cli_dimension PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/fpsq" "sweep" "--step" "0.2")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pipeline "sh" "-c" "/root/repo/build/tools/fpsq generate --game cs --players 4     --duration 30 --out /root/repo/build/tools/cli_trace.csv &&     /root/repo/build/tools/fpsq analyze --in /root/repo/build/tools/cli_trace.csv")
+set_tests_properties(cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replay "sh" "-c" "/root/repo/build/tools/fpsq generate --game ut --players 6     --duration 20 --out /root/repo/build/tools/cli_replay.csv &&     /root/repo/build/tools/fpsq replay --in /root/repo/build/tools/cli_replay.csv")
+set_tests_properties(cli_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build/tools/fpsq" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
