@@ -1,6 +1,7 @@
 // A1 — ablation of the Section-3.3 combination methods: exact inversion
 // (stable convolution evaluation of eq. 35), dominant-pole approximation,
 // Chernoff bound (eq. 36), and the sum-of-quantiles heuristic.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -12,6 +13,7 @@ int main() {
   bench::header("Ablation A1",
                 "combination methods for the 99.999% stochastic delay "
                 "(K = 9, P_S = 125 B, T = 60 ms)");
+  bench::JsonReport jr{"ablation_inversion"};
 
   core::AccessScenario s;
   s.server_packet_bytes = 125.0;
@@ -23,13 +25,22 @@ int main() {
   for (int pct = 10; pct <= 90; pct += 10) {
     const double rho = pct / 100.0;
     const core::RttModel m{s, s.clients_for_downlink_load(rho)};
+    const double exact =
+        m.stochastic_quantile_ms(1e-5, CombinationMethod::kFullInversion);
+    const double pole =
+        m.stochastic_quantile_ms(1e-5, CombinationMethod::kDominantPole);
+    const double chern =
+        m.stochastic_quantile_ms(1e-5, CombinationMethod::kChernoff);
     std::printf(
-        "%7d%% %10.2f %12.2f %10.2f %14.2f\n", pct,
-        m.stochastic_quantile_ms(1e-5, CombinationMethod::kFullInversion),
-        m.stochastic_quantile_ms(1e-5, CombinationMethod::kDominantPole),
-        m.stochastic_quantile_ms(1e-5, CombinationMethod::kChernoff),
+        "%7d%% %10.2f %12.2f %10.2f %14.2f\n", pct, exact, pole, chern,
         m.stochastic_quantile_ms(1e-5,
                                  CombinationMethod::kSumOfQuantiles));
+    if (pct == 50) {
+      jr.metric("exact_q_ms_load50", exact);
+      jr.metric("dompole_rel_err_load50", std::abs(pole - exact) / exact);
+      jr.metric("chernoff_rel_err_load50",
+                std::abs(chern - exact) / exact);
+    }
   }
   bench::footnote(
       "Dominant-pole overshoots at low load where its residue is huge"

@@ -15,6 +15,7 @@ int main() {
   bench::header("Ablation A2",
                 "N*D/D/1 -> M/D/1 convergence at rho = 0.7 (1e-4 "
                 "quantiles of the waiting time, packet service = 1)");
+  bench::JsonReport jr{"ablation_poisson_limit"};
 
   const double rho = 0.7;
   const double d = 1.0;
@@ -23,13 +24,18 @@ int main() {
 
   std::printf("%8s %12s %14s %14s %12s\n", "N", "Benes", "Chernoff(10)",
               "Poisson(12)", "M/D/1");
+  double benes_512 = 0.0;
   for (int n : {8, 16, 32, 64, 128, 256, 512}) {
     const NDD1Params q{n, n * d / rho, d};
-    std::printf("%8d %12.3f %14.3f %14.3f %12.3f\n", n,
-                ndd1_quantile(q, 1e-4, NDD1Method::kBenes),
+    const double benes = ndd1_quantile(q, 1e-4, NDD1Method::kBenes);
+    if (n == 512) benes_512 = benes;
+    std::printf("%8d %12.3f %14.3f %14.3f %12.3f\n", n, benes,
                 ndd1_quantile(q, 1e-4, NDD1Method::kChernoff),
                 ndd1_quantile(q, 1e-4, NDD1Method::kPoisson), md1_q);
   }
+  jr.metric("md1_q", md1_q);
+  jr.metric("benes_q_n512", benes_512);
+  jr.metric("benes_n512_gap_vs_md1", md1_q - benes_512);
   bench::footnote(
       "Periodic sources are 'smoother' than Poisson: quantiles grow with"
       " N toward the M/D/1 limit from below, the convergence the paper"

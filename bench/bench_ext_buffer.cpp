@@ -15,6 +15,7 @@ int main() {
   bench::header("Extension E4",
                 "buffer sizing: gaming packet loss vs bottleneck buffer "
                 "(80 gamers, T = 40 ms, K = 9, rho_d = 0.4)");
+  bench::JsonReport jr{"ext_buffer"};
 
   sim::GamingScenarioConfig cfg;
   cfg.n_clients = 80;
@@ -36,6 +37,8 @@ int main() {
     std::printf("%10zu %16.2e %16.2e %18.2e\n", buf, r.downstream_loss(),
                 r.upstream_loss(),
                 md1.loss_probability_approx(static_cast<int>(buf)));
+    if (buf == 64u) jr.metric("down_loss_buf64", r.downstream_loss());
+    if (buf == 128u) jr.metric("down_loss_buf128", r.downstream_loss());
   }
   bench::footnote(
       "Downstream needs the buffer sized for a whole burst (~N packets):"
@@ -65,6 +68,11 @@ int main() {
     const auto r = sim::run_gaming_scenario(up);
     std::printf("%10zu %16.2e %18.2e\n", buf, r.upstream_loss(),
                 md1_up.loss_probability_approx(static_cast<int>(buf)));
+    if (buf == 8u) {
+      jr.metric("up_loss_sim_buf8", r.upstream_loss());
+      jr.metric("up_loss_md1b_buf8",
+                md1_up.loss_probability_approx(static_cast<int>(buf)));
+    }
   }
   bench::footnote(
       "The M/D/1/B estimate upper-bounds the simulated loss by a wide"

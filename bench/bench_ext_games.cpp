@@ -5,7 +5,9 @@
 // that game. This is the paper's methodology applied end-to-end to every
 // game it surveys.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "core/dimensioning.h"
@@ -19,6 +21,7 @@ int main() {
   bench::header("Extension E5",
                 "per-game traffic fit + dimensioning (12 players, 5 Mb/s "
                 "share, RTT(99.999%) <= 50 / 100 ms)");
+  bench::JsonReport jr{"ext_games"};
 
   std::printf("%-22s | %6s %6s %6s %4s | %9s %9s\n", "game", "T[ms]",
               "PS[B]", "PC[B]", "K", "N@50ms", "N@100ms");
@@ -62,6 +65,15 @@ int main() {
                 profile.name.c_str(), s.tick_ms, s.server_packet_bytes,
                 s.client_packet_bytes, s.erlang_k, d50.n_max_int,
                 d100.n_max_int);
+    // Metric keys need stable slugs; profile names contain spaces.
+    std::string slug;
+    for (char ch : profile.name) {
+      slug += (std::isalnum(static_cast<unsigned char>(ch)))
+                  ? static_cast<char>(std::tolower(ch))
+                  : '_';
+    }
+    jr.metric("n_max_50ms_" + slug, d50.n_max_int);
+    jr.metric("fitted_k_" + slug, s.erlang_k);
   }
   bench::footnote(
       "K is tail-fitted from the measured burst-size TDF (deterministic-"

@@ -4,6 +4,7 @@
 // MGF, eq. 13) but evaluates only one class; this bench exercises the
 // general model.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "core/mixed_population.h"
@@ -14,26 +15,30 @@ int main() {
   using core::MixedUpstreamModel;
   bench::header("Extension E1",
                 "mixed-game upstream delay on a 5 Mb/s trunk (eq. 13)");
+  bench::JsonReport jr{"ext_mixed_population"};
 
   // Counter-Strike-like (80 B / 40 ms) + Quake3-like (60 B / 15 ms) +
   // a hypothetical big-packet game (250 B / 50 ms).
   std::printf("%28s %10s %14s %16s\n", "population", "rho_u",
               "mean wait [ms]", "1e-5 quant [ms]");
 
-  auto report = [](const char* label, const MixedUpstreamModel& m) {
+  auto report = [&jr](const char* label, const char* key,
+                      const MixedUpstreamModel& m) {
+    const double q = m.wait_quantile_ms(1e-5);
     std::printf("%28s %9.1f%% %14.4f %16.3f\n", label, 100.0 * m.rho(),
-                m.mean_wait_ms(), m.wait_quantile_ms(1e-5));
+                m.mean_wait_ms(), q);
+    jr.metric(std::string("wait_q_ms_") + key, q);
   };
 
-  report("120x CS only",
+  report("120x CS only", "cs_only",
          MixedUpstreamModel{{{120.0, 80.0, 40.0}}, 5e6});
-  report("60x CS + 45x Q3",
+  report("60x CS + 45x Q3", "cs_q3",
          MixedUpstreamModel{
              {{60.0, 80.0, 40.0}, {45.0, 60.0, 15.0}}, 5e6});
-  report("60x CS + 12x big-packet",
+  report("60x CS + 12x big-packet", "cs_big",
          MixedUpstreamModel{
              {{60.0, 80.0, 40.0}, {12.0, 250.0, 50.0}}, 5e6});
-  report("30x CS + 30x Q3 + 8x big",
+  report("30x CS + 30x Q3 + 8x big", "three_way",
          MixedUpstreamModel{{{30.0, 80.0, 40.0},
                              {30.0, 60.0, 15.0},
                              {8.0, 250.0, 50.0}},

@@ -4,6 +4,7 @@
 // splitting the same gaming load over more servers change the tagged-
 // packet delay?
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -15,6 +16,7 @@ int main() {
   using core::MultiServerDownstreamModel;
   bench::header("Extension E2",
                 "M game servers sharing a 20 Mb/s pipe (total load 50%)");
+  bench::JsonReport jr{"ext_multi_server"};
 
   // Total: 16000 B per 40 ms tick = 3.2 Mb/s... scaled to 50% of 20 Mb/s:
   // 50,000 B per tick split evenly over M servers.
@@ -30,10 +32,13 @@ int main() {
         static_cast<std::size_t>(m),
         GameServerSpec{40.0, 9, total_burst_bytes / m});
     const MultiServerDownstreamModel model{servers, c};
+    const double q = model.packet_delay_quantile_ms(1e-5);
     std::printf("%4d %14.3f %18.3f %22.3f\n", m,
                 model.mean_burst_wait_ms(),
-                model.packet_delay_quantile_ms(0.5),
-                model.packet_delay_quantile_ms(1e-5));
+                model.packet_delay_quantile_ms(0.5), q);
+    if (m == 1 || m == 16) {
+      jr.metric("packet_q_ms_m" + std::to_string(m), q);
+    }
   }
 
   std::printf("\nHeterogeneous mix (same total load): one big + many small"
@@ -49,8 +54,9 @@ int main() {
                 model.packet_delay_quantile_ms(0, 1e-5));
     std::printf("  small server packets: 1e-5 q = %8.3f ms\n",
                 model.packet_delay_quantile_ms(1, 1e-5));
-    std::printf("  random packet:        1e-5 q = %8.3f ms\n",
-                model.packet_delay_quantile_ms(1e-5));
+    const double q_mix = model.packet_delay_quantile_ms(1e-5);
+    std::printf("  random packet:        1e-5 q = %8.3f ms\n", q_mix);
+    jr.metric("packet_q_ms_hetero_mix", q_mix);
   }
   bench::footnote(
       "Splitting the load over more servers shrinks each burst and with"

@@ -14,6 +14,7 @@
 int main() {
   using namespace fpsq;
   bench::header("Figure 1", "burst-size TDF vs Erlang fits");
+  bench::JsonReport jr{"figure1_burst_tdf"};
 
   traffic::SyntheticTraceOptions opt;
   opt.clients = 12;
@@ -50,6 +51,10 @@ int main() {
               tail_fit.k);
   std::printf("  moment fit:  K = %d (paper: 28 from CoV 0.19)\n",
               moment_fit.k());
+  jr.metric("burst_size_mean_b", mean);
+  jr.metric("burst_size_cov", c.burst_size_bytes.cov());
+  jr.metric("tail_fit_k", tail_fit.k);
+  jr.metric("moment_fit_k", moment_fit.k());
   bench::footnote(
       "The tail fit landing below the CoV fit reproduces the paper's"
       " Figure-1 tension between central moments and tail behaviour.");

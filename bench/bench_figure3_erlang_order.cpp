@@ -9,6 +9,7 @@
 int main() {
   using namespace fpsq;
   bench::header("Figure 3", "99.999% RTT vs downlink load, K = 2/9/20");
+  bench::JsonReport jr{"figure3_erlang_order"};
 
   core::AccessScenario s;
   s.server_packet_bytes = 125.0;
@@ -22,7 +23,11 @@ int main() {
     for (int k : {2, 9, 20}) {
       s.erlang_k = k;
       const core::RttModel m{s, s.clients_for_downlink_load(rho)};
-      std::printf(" %12.1f", m.rtt_quantile_ms(1e-5));
+      const double q = m.rtt_quantile_ms(1e-5);
+      std::printf(" %12.1f", q);
+      if (pct == 50) {
+        jr.metric("rtt_ms_load50_k" + std::to_string(k), q);
+      }
     }
     std::printf("\n");
   }

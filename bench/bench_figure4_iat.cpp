@@ -1,6 +1,7 @@
 // Figure 4 — impact of the burst inter-arrival time T on the 99.999% RTT
 // quantile. P_S = 125 B, K = 9; T = 40 vs 60 ms. The paper notes the RTT
 // is virtually proportional to T when the downlink dominates (ratio 3/2).
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -9,6 +10,7 @@
 int main() {
   using namespace fpsq;
   bench::header("Figure 4", "99.999% RTT vs load, IAT = 40 vs 60 ms");
+  bench::JsonReport jr{"figure4_iat"};
 
   core::AccessScenario s;
   s.server_packet_bytes = 125.0;
@@ -26,6 +28,12 @@ int main() {
     const double q60 = m60.rtt_quantile_ms(1e-5);
     std::printf("%7d%% %14.1f %14.1f %10.3f\n", pct, q40, q60,
                 q60 / q40);
+    if (pct == 50) {
+      jr.metric("rtt_ms_load50_iat40", q40);
+      jr.metric("rtt_ms_load50_iat60", q60);
+      jr.metric("ratio_load50", q60 / q40);
+      jr.metric("ratio_error_vs_1p5", std::abs(q60 / q40 - 1.5));
+    }
   }
   bench::footnote(
       "Paper: for T = 60 ms the RTT is about 3/2 times the T = 40 ms"

@@ -2,6 +2,8 @@
 // paper, which validates only through limiting arguments). Compares the
 // analytic 99.9% quantiles with measured quantiles from the discrete-
 // event simulation of the full Figure-2 topology.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -12,6 +14,7 @@ int main() {
   bench::header("Validation V1",
                 "analytic model vs packet-level simulation (99.9% "
                 "quantiles, K = 9, P_S = 125 B, T = 60 ms)");
+  bench::JsonReport jr{"model_vs_sim"};
 
   core::AccessScenario s;
   s.server_packet_bytes = 125.0;
@@ -28,12 +31,20 @@ int main() {
               "rtt(mod)", "rtt(sim)");
   const auto pts =
       core::validate_sweep(s, {0.2, 0.35, 0.5, 0.65, 0.8}, opt);
+  double max_rel_err = 0.0;
   for (const auto& p : pts) {
     std::printf("%5.0f%% %6d | %9.3f %9.3f | %9.2f %9.2f | %9.2f %9.2f\n",
                 100.0 * p.rho_down, p.n_clients, p.model_up_ms,
                 p.sim_up_ms, p.model_down_ms, p.sim_down_ms,
                 p.model_rtt_ms, p.sim_rtt_ms);
+    max_rel_err = std::max(
+        max_rel_err, std::abs(p.model_rtt_ms - p.sim_rtt_ms) / p.sim_rtt_ms);
+    if (std::abs(p.rho_down - 0.5) < 1e-9) {
+      jr.metric("rtt_model_ms_load50", p.model_rtt_ms);
+      jr.metric("rtt_sim_ms_load50", p.sim_rtt_ms);
+    }
   }
+  jr.metric("rtt_max_rel_err", max_rel_err);
   bench::footnote(
       "down = burst wait + packet position + own serialization at C."
       " Model quantiles track the independent packet-level simulation"

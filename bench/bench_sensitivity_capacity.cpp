@@ -1,6 +1,7 @@
 // Section-4 robustness claim S2: at fixed load the results barely change
 // with R_up, R_down and C — the downstream queueing model is invariant in
 // C; only the small serialization delays move.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -11,19 +12,27 @@ int main() {
   bench::header("Sensitivity S2",
                 "RTT vs aggregation capacity C at fixed load (K = 9, "
                 "P_S = 125 B, T = 40 ms)");
+  bench::JsonReport jr{"sensitivity_capacity"};
 
   core::AccessScenario s;
   s.erlang_k = 9;
 
   std::printf("%12s %10s %14s %16s\n", "C [Mb/s]", "N@50%",
               "stoch. q [ms]", "full RTT q [ms]");
+  double stoch_min = 1e300, stoch_max = -1e300;
   for (double c_mbps : {2.5, 5.0, 10.0, 20.0, 40.0}) {
     s.bottleneck_bps = c_mbps * 1e6;
     const double n = s.clients_for_downlink_load(0.5);
     const core::RttModel m{s, n};
-    std::printf("%12.1f %10.0f %14.2f %16.2f\n", c_mbps, n,
-                m.stochastic_quantile_ms(1e-5), m.rtt_quantile_ms(1e-5));
+    const double stoch = m.stochastic_quantile_ms(1e-5);
+    stoch_min = std::min(stoch_min, stoch);
+    stoch_max = std::max(stoch_max, stoch);
+    std::printf("%12.1f %10.0f %14.2f %16.2f\n", c_mbps, n, stoch,
+                m.rtt_quantile_ms(1e-5));
   }
+  // Invariance claim: the stochastic quantile should not move with C.
+  jr.metric("stoch_q_ms_load50", stoch_max);
+  jr.metric("stoch_q_spread_ms", stoch_max - stoch_min);
 
   std::printf("\nAccess rates at C = 5 Mb/s, load 50%%:\n");
   s.bottleneck_bps = 5e6;

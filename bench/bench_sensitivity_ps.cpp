@@ -12,6 +12,7 @@ int main() {
   bench::header("Sensitivity S1",
                 "99.999% RTT vs load for P_S = 75/100/125 B (K = 9, "
                 "T = 60 ms)");
+  bench::JsonReport jr{"sensitivity_ps"};
 
   core::AccessScenario s;
   s.tick_ms = 60.0;
@@ -30,7 +31,11 @@ int main() {
         continue;
       }
       const core::RttModel m{s, n};
-      std::printf(" %12.1f", m.rtt_quantile_ms(1e-5));
+      const double q = m.rtt_quantile_ms(1e-5);
+      std::printf(" %12.1f", q);
+      if (pct == 50) {
+        jr.metric("rtt_ms_load50_ps" + std::to_string((int)ps), q);
+      }
     }
     std::printf("\n");
   }

@@ -2,6 +2,7 @@
 // Generates a synthetic Counter-Strike session from the published Ext/Det
 // laws, re-measures it with the Section-2.2 analyzer, and prints measured
 // vs published mean/CoV for both directions.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -12,6 +13,7 @@
 int main() {
   using namespace fpsq;
   bench::header("Table 1", "Counter-Strike traffic characteristics");
+  bench::JsonReport jr{"table1_counterstrike"};
 
   traffic::SyntheticTraceOptions opt;
   opt.clients = 12;
@@ -42,6 +44,11 @@ int main() {
               c.client_iat_ms.cov(), "42 / 0.24");
   std::printf("%-34s %10.1f\n", "packets per burst",
               c.burst_packet_count.mean());
+  jr.metric("server_size_b", c.server_packet_size_bytes.mean());
+  jr.metric("burst_iat_ms", c.burst_iat_ms.mean());
+  jr.metric("client_size_b", c.client_packet_size_bytes.mean());
+  jr.metric("client_iat_ms", c.client_iat_ms.mean());
+  jr.metric("client_iat_err_ms", std::abs(c.client_iat_ms.mean() - 42.0));
   bench::footnote(
       "Generator uses the paper's *approximations* Ext(120,36), Ext(55,6),"
       " Ext(80,5.7), Det(40): measured means match those laws (e.g."

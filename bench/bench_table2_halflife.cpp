@@ -1,4 +1,5 @@
 // Table 2 — Half-Life traffic characteristics (Lang et al. [16]).
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -9,6 +10,7 @@
 int main() {
   using namespace fpsq;
   bench::header("Table 2", "Half-Life traffic characteristics");
+  bench::JsonReport jr{"table2_halflife"};
 
   traffic::SyntheticTraceOptions opt;
   opt.clients = 10;
@@ -34,5 +36,11 @@ int main() {
   std::printf("%-34s %10.1f   %s\n", "client packet size [B]",
               c.client_packet_size_bytes.mean(),
               "(log-)normal in 60-90 B (default N(75,7))");
+  jr.metric("burst_iat_ms", c.burst_iat_ms.mean());
+  jr.metric("burst_iat_err_ms", std::abs(c.burst_iat_ms.mean() - 60.0));
+  jr.metric("server_size_b", c.server_packet_size_bytes.mean());
+  jr.metric("client_iat_ms", c.client_iat_ms.mean());
+  jr.metric("client_iat_err_ms", std::abs(c.client_iat_ms.mean() - 41.0));
+  jr.metric("client_size_b", c.client_packet_size_bytes.mean());
   return 0;
 }

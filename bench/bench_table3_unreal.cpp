@@ -3,6 +3,7 @@
 // session from the published statistics and re-measure it exactly as the
 // paper does: burst grouping from timing, per-direction size/IAT
 // statistics, within-burst size variability.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -14,6 +15,7 @@ int main() {
   using namespace fpsq;
   bench::header("Table 3",
                 "Unreal Tournament 2003 12-player LAN session");
+  bench::JsonReport jr{"table3_unreal"};
 
   traffic::SyntheticTraceOptions opt;
   opt.clients = 12;
@@ -49,5 +51,14 @@ int main() {
               c.client_iat_ms.cov(), "30 / 0.65");
   std::printf("%-34s %10.1f\n", "packets per burst",
               c.burst_packet_count.mean());
+  jr.metric("server_size_b", c.server_packet_size_bytes.mean());
+  jr.metric("server_size_err_b",
+            std::abs(c.server_packet_size_bytes.mean() - 154.0));
+  jr.metric("burst_iat_ms", c.burst_iat_ms.mean());
+  jr.metric("burst_iat_err_ms", std::abs(c.burst_iat_ms.mean() - 47.0));
+  jr.metric("burst_size_b", c.burst_size_bytes.mean());
+  jr.metric("burst_size_err_b",
+            std::abs(c.burst_size_bytes.mean() - 1852.0));
+  jr.metric("client_size_b", c.client_packet_size_bytes.mean());
   return 0;
 }

@@ -11,6 +11,7 @@ int main() {
   using namespace fpsq;
   bench::header("Section 4 dimensioning",
                 "max load and gamers for RTT <= 50 ms");
+  bench::JsonReport jr{"table4_dimensioning"};
 
   core::AccessScenario s;  // P_S = 125, T = 40, C = 5 Mb/s defaults
   std::printf("%6s %12s %10s %14s   %s\n", "K", "rho_max", "N_max",
@@ -22,6 +23,8 @@ int main() {
     const auto d = core::dimension_for_rtt(s, 50.0, 1e-5);
     std::printf("%6d %11.1f%% %10d %14.1f   %s\n", k, 100.0 * d.rho_max,
                 d.n_max_int, d.rtt_at_max_ms, paper[i++]);
+    jr.metric("rho_max_50ms_k" + std::to_string(k), d.rho_max);
+    jr.metric("n_max_50ms_k" + std::to_string(k), d.n_max_int);
   }
 
   std::printf("\nSame question for an 'acceptable' 100 ms bound:\n");

@@ -1,9 +1,20 @@
 // Shared helpers for the reproduction benches: each bench regenerates one
 // table or figure of the paper and prints the measured values next to the
 // published reference numbers.
+//
+// Besides the human-readable output, every bench emits one machine-
+// readable line of the form
+//     BENCHJSON {"name":...,"wall_s":...,"metrics":{...}}
+// via JsonReport; tools/collect_bench.sh greps these lines and
+// aggregates them into BENCH_<date>.json.
 #pragma once
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace fpsq::bench {
 
@@ -14,5 +25,53 @@ inline void header(const char* id, const char* title) {
 }
 
 inline void footnote(const char* text) { std::printf("  %s\n", text); }
+
+/// Accumulates key result metrics and prints the BENCHJSON line when
+/// destroyed (or on an explicit emit()). Wall time is measured from
+/// construction.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(Clock::now()) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { emit(); }
+
+  /// Records one named scalar (typically an error or headline value).
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Prints the BENCHJSON line; subsequent calls are no-ops.
+  void emit() {
+    if (emitted_) return;
+    emitted_ = true;
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    std::printf("BENCHJSON {\"name\":\"%s\",\"wall_s\":%.6f,\"metrics\":{",
+                name_.c_str(), wall_s);
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      // NaN / inf are not valid JSON numbers; serialize them as null.
+      const double v = metrics_[i].second;
+      if (std::isfinite(v)) {
+        std::printf("%s\"%s\":%.10g", i ? "," : "",
+                    metrics_[i].first.c_str(), v);
+      } else {
+        std::printf("%s\"%s\":null", i ? "," : "",
+                    metrics_[i].first.c_str());
+      }
+    }
+    std::printf("}}\n");
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::string name_;
+  Clock::time_point start_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool emitted_ = false;
+};
 
 }  // namespace fpsq::bench

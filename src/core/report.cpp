@@ -4,6 +4,7 @@
 
 #include "core/playability.h"
 #include "core/rtt_model.h"
+#include "obs/metrics.h"
 
 namespace fpsq::core {
 
@@ -65,6 +66,11 @@ std::string scenario_report_markdown(const AccessScenario& scenario,
          << rtt_budget_ms(row.rating) << " | "
          << 100.0 * row.rho_max << " % | " << row.n_max << " |\n";
     }
+    os << "\n";
+  }
+  if (options.include_telemetry) {
+    os << "## Telemetry\n\n";
+    os << obs::render_summary(obs::MetricsRegistry::global().snapshot());
     os << "\n";
   }
   os << "_Model: Degrande, De Vleeschauwer, Kooij, Mandjes — Modeling "

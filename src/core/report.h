@@ -13,6 +13,10 @@ struct ReportOptions {
   double n_clients = 60.0;  ///< population to assess
   double epsilon = 1e-5;    ///< quantile tail probability
   bool include_capacity_table = true;
+  /// Appends a "## Telemetry" section summarizing the solver/simulator
+  /// metrics accumulated in obs::MetricsRegistry::global() while this
+  /// report (and anything before it) ran.
+  bool include_telemetry = false;
 };
 
 /// Renders the full assessment as markdown.

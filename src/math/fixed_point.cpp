@@ -2,11 +2,16 @@
 
 #include <cmath>
 
+#include "obs/solver_telemetry.h"
+
 namespace fpsq::math {
 
-ComplexRootResult solve_fixed_point(const std::function<Complex(Complex)>& F,
-                                    const std::function<Complex(Complex)>& dF,
-                                    Complex z0, double tol, int max_iter) {
+namespace {
+
+ComplexRootResult solve_fixed_point_impl(
+    const std::function<Complex(Complex)>& F,
+    const std::function<Complex(Complex)>& dF, Complex z0, double tol,
+    int max_iter) {
   ComplexRootResult r;
   Complex z = z0;
   // Plain Picard iteration: the paper's map is a contraction on the domain
@@ -50,6 +55,18 @@ ComplexRootResult solve_fixed_point(const std::function<Complex(Complex)>& F,
   r.root = z;
   r.residual = std::abs(F(z) - z);
   r.converged = r.residual < tol;
+  return r;
+}
+
+}  // namespace
+
+ComplexRootResult solve_fixed_point(const std::function<Complex(Complex)>& F,
+                                    const std::function<Complex(Complex)>& dF,
+                                    Complex z0, double tol, int max_iter) {
+  const ComplexRootResult r =
+      solve_fixed_point_impl(F, dF, z0, tol, max_iter);
+  obs::record_solver_call("fixed_point", r.iterations, r.converged);
+  obs::record_solver_residual("fixed_point", r.residual);
   return r;
 }
 

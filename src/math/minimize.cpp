@@ -5,10 +5,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/solver_telemetry.h"
+
 namespace fpsq::math {
 
-MinResult golden_section(const std::function<double(double)>& f, double a,
-                         double b, double x_tol, int max_iter) {
+namespace {
+
+MinResult golden_section_impl(const std::function<double(double)>& f,
+                              double a, double b, double x_tol,
+                              int max_iter) {
   if (!(a < b)) {
     throw std::invalid_argument("golden_section: need a < b");
   }
@@ -49,6 +54,15 @@ MinResult golden_section(const std::function<double(double)>& f, double a,
   return r;
 }
 
+}  // namespace
+
+MinResult golden_section(const std::function<double(double)>& f, double a,
+                         double b, double x_tol, int max_iter) {
+  const MinResult r = golden_section_impl(f, a, b, x_tol, max_iter);
+  obs::record_solver_call("golden_section", r.iterations, r.converged);
+  return r;
+}
+
 MinResult minimize_scan(const std::function<double(double)>& f, double a,
                         double initial_step, double growth, int max_probes,
                         double x_tol) {
@@ -86,14 +100,16 @@ MinResult minimize_scan(const std::function<double(double)>& f, double a,
   // Refine around the best probe: the minimum lies in [prev_x, x + step].
   const double lo = prev_x;
   const double hi = x + step;
-  MinResult g = golden_section(f, lo, hi, x_tol);
+  MinResult g = golden_section_impl(f, lo, hi, x_tol, 200);
   if (g.value <= best_f) {
     g.iterations += r.iterations;
+    obs::record_solver_call("minimize_scan", g.iterations, g.converged);
     return g;
   }
   r.x = best_x;
   r.value = best_f;
   r.converged = true;
+  obs::record_solver_call("minimize_scan", r.iterations, r.converged);
   return r;
 }
 

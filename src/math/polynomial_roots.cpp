@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/solver_telemetry.h"
+
 namespace fpsq::math {
 
 namespace {
@@ -82,7 +84,9 @@ std::vector<Cx> durand_kerner(const Poly& p_in, double tol, int max_iter) {
     z[k] = power * (radius / std::abs(power)) * 0.7;
   }
   double move = 0.0;
+  int iterations = 0;
   for (int it = 0; it < max_iter; ++it) {
+    iterations = it + 1;
     move = 0.0;
     for (std::size_t k = 0; k < n; ++k) {
       Cx denom{1.0, 0.0};
@@ -101,12 +105,18 @@ std::vector<Cx> durand_kerner(const Poly& p_in, double tol, int max_iter) {
       move = std::max(move, std::abs(delta));
     }
     if (move < tol) {
+      obs::record_solver_call("durand_kerner", iterations, true);
+      obs::record_solver_residual("durand_kerner", move);
       return z;
     }
   }
   if (move > 1e-8 * radius) {
+    obs::record_solver_call("durand_kerner", iterations, false);
     throw std::runtime_error("durand_kerner: iteration did not converge");
   }
+  // Stalled below the loose fallback threshold: usable, but not to tol.
+  obs::record_solver_call("durand_kerner", iterations, true);
+  obs::record_solver_residual("durand_kerner", move);
   return z;
 }
 

@@ -3,16 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/solver_telemetry.h"
+
 namespace fpsq::math {
 
 namespace {
 bool opposite_signs(double fa, double fb) {
   return (fa <= 0.0 && fb >= 0.0) || (fa >= 0.0 && fb <= 0.0);
 }
-}  // namespace
 
-RootResult bisect(const std::function<double(double)>& f, double a, double b,
-                  double x_tol, int max_iter) {
+/// Runs a solver body, attributing iterations / failures / bracket
+/// errors to the active obs::ScopedSolverContext call site.
+template <typename Fn>
+RootResult instrumented(const char* algorithm, Fn&& body) {
+  try {
+    const RootResult r = body();
+    obs::record_solver_call(algorithm, r.iterations, r.converged);
+    obs::record_solver_residual(algorithm, std::abs(r.value));
+    return r;
+  } catch (const BracketError&) {
+    obs::record_bracket_error(algorithm);
+    throw;
+  }
+}
+
+RootResult bisect_impl(const std::function<double(double)>& f, double a,
+                       double b, double x_tol, int max_iter) {
   double fa = f(a);
   double fb = f(b);
   if (!opposite_signs(fa, fb)) {
@@ -51,8 +67,8 @@ RootResult bisect(const std::function<double(double)>& f, double a, double b,
   return r;
 }
 
-RootResult brent(const std::function<double(double)>& f, double a, double b,
-                 double x_tol, int max_iter) {
+RootResult brent_impl(const std::function<double(double)>& f, double a,
+                      double b, double x_tol, int max_iter) {
   double fa = f(a);
   double fb = f(b);
   if (!opposite_signs(fa, fb)) {
@@ -120,33 +136,10 @@ RootResult brent(const std::function<double(double)>& f, double a, double b,
   return r;
 }
 
-RootResult find_root_expanding(const std::function<double(double)>& f,
-                               double a, double initial_step, double x_tol,
-                               int max_expand, double growth) {
-  if (initial_step <= 0.0 || growth <= 1.0) {
-    throw std::invalid_argument(
-        "find_root_expanding: step must be > 0, growth > 1");
-  }
-  const double fa = f(a);
-  double step = initial_step;
-  double lo = a;
-  double flo = fa;
-  for (int i = 0; i < max_expand; ++i) {
-    const double hi = lo + step;
-    const double fhi = f(hi);
-    if (opposite_signs(flo, fhi)) {
-      return brent(f, lo, hi, x_tol);
-    }
-    lo = hi;
-    flo = fhi;
-    step *= growth;
-  }
-  throw BracketError("find_root_expanding: no sign change found");
-}
-
-RootResult newton_safe(const std::function<double(double)>& f,
-                       const std::function<double(double)>& df, double a,
-                       double b, double x0, double x_tol, int max_iter) {
+RootResult newton_safe_impl(const std::function<double(double)>& f,
+                            const std::function<double(double)>& df,
+                            double a, double b, double x0, double x_tol,
+                            int max_iter) {
   double fa = f(a);
   double fb = f(b);
   if (!opposite_signs(fa, fb)) {
@@ -191,6 +184,56 @@ RootResult newton_safe(const std::function<double(double)>& f,
   r.value = f(x);
   r.converged = false;
   return r;
+}
+
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double a, double b,
+                  double x_tol, int max_iter) {
+  return instrumented("bisect",
+                      [&] { return bisect_impl(f, a, b, x_tol, max_iter); });
+}
+
+RootResult brent(const std::function<double(double)>& f, double a, double b,
+                 double x_tol, int max_iter) {
+  return instrumented("brent",
+                      [&] { return brent_impl(f, a, b, x_tol, max_iter); });
+}
+
+RootResult find_root_expanding(const std::function<double(double)>& f,
+                               double a, double initial_step, double x_tol,
+                               int max_expand, double growth) {
+  if (initial_step <= 0.0 || growth <= 1.0) {
+    throw std::invalid_argument(
+        "find_root_expanding: step must be > 0, growth > 1");
+  }
+  return instrumented("find_root_expanding", [&] {
+    const double fa = f(a);
+    double step = initial_step;
+    double lo = a;
+    double flo = fa;
+    for (int i = 0; i < max_expand; ++i) {
+      const double hi = lo + step;
+      const double fhi = f(hi);
+      if (opposite_signs(flo, fhi)) {
+        RootResult r = brent_impl(f, lo, hi, x_tol, 200);
+        r.iterations += i + 1;  // include the bracket-expansion probes
+        return r;
+      }
+      lo = hi;
+      flo = fhi;
+      step *= growth;
+    }
+    throw BracketError("find_root_expanding: no sign change found");
+  });
+}
+
+RootResult newton_safe(const std::function<double(double)>& f,
+                       const std::function<double(double)>& df, double a,
+                       double b, double x0, double x_tol, int max_iter) {
+  return instrumented("newton_safe", [&] {
+    return newton_safe_impl(f, df, a, b, x0, x_tol, max_iter);
+  });
 }
 
 }  // namespace fpsq::math

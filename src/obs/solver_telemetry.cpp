@@ -1,0 +1,78 @@
+#include "obs/solver_telemetry.h"
+
+#include "obs/metrics.h"
+
+namespace fpsq::obs {
+
+namespace {
+
+thread_local const char* t_site = nullptr;
+
+#ifndef FPSQ_NO_METRICS
+std::string metric_name(const char* algorithm, const char* event) {
+  std::string name = ScopedSolverContext::current();
+  name += '.';
+  name += algorithm;
+  name += '.';
+  name += event;
+  return name;
+}
+#endif
+
+}  // namespace
+
+ScopedSolverContext::ScopedSolverContext(const char* site) noexcept
+    : prev_(t_site) {
+  t_site = site;
+}
+
+ScopedSolverContext::~ScopedSolverContext() { t_site = prev_; }
+
+const char* ScopedSolverContext::current() noexcept {
+  return t_site != nullptr ? t_site : "math";
+}
+
+#ifndef FPSQ_NO_METRICS
+
+void record_solver_call(const char* algorithm, int iterations,
+                        bool converged) {
+  auto& reg = MetricsRegistry::global();
+  reg.add_counter(metric_name(algorithm, "calls"));
+  reg.record_histogram(metric_name(algorithm, "iterations"),
+                       static_cast<double>(iterations));
+  if (!converged) {
+    reg.add_counter(metric_name(algorithm, "failures"));
+  }
+}
+
+void record_solver_residual(const char* algorithm, double residual) {
+  MetricsRegistry::global().record_histogram(
+      metric_name(algorithm, "residual"), residual);
+}
+
+void record_bracket_error(const char* algorithm) {
+  MetricsRegistry::global().add_counter(
+      metric_name(algorithm, "bracket_errors"));
+}
+
+void record_pole_diagnostics(const char* solver, double min_separation,
+                             double vandermonde_cond) {
+  auto& reg = MetricsRegistry::global();
+  std::string base{solver};
+  reg.record_histogram(base + ".min_pole_separation", min_separation);
+  reg.record_histogram(base + ".vandermonde_cond", vandermonde_cond);
+}
+
+namespace detail {
+void record_unconverged(const char* what, int iterations) {
+  auto& reg = MetricsRegistry::global();
+  reg.add_counter("solver.unconverged");
+  reg.add_counter(std::string(what) + ".unconverged");
+  reg.record_histogram("solver.unconverged.iterations",
+                       static_cast<double>(iterations));
+}
+}  // namespace detail
+
+#endif  // FPSQ_NO_METRICS
+
+}  // namespace fpsq::obs

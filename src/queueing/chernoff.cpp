@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "math/minimize.h"
+#include "obs/solver_telemetry.h"
 
 namespace fpsq::queueing {
 
@@ -19,8 +20,11 @@ double chernoff_tail_fn(const std::function<double(double)>& mgf_value,
     if (!(f > 0.0)) return 1e300;  // past a sign flip near the pole
     return std::log(f) - s * x;
   };
-  const auto r = math::golden_section(objective, 1e-12 * s_max,
-                                      s_max * (1.0 - 1e-9), 1e-12 * s_max);
+  const obs::ScopedSolverContext obs_ctx("queueing.chernoff");
+  const auto r = obs::require_converged(
+      math::golden_section(objective, 1e-12 * s_max, s_max * (1.0 - 1e-9),
+                           1e-12 * s_max),
+      "chernoff_tail_fn");
   return std::min(1.0, std::exp(r.value));
 }
 

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "math/fixed_point.h"
+#include "math/linalg.h"
+#include "obs/solver_telemetry.h"
+#include "obs/trace.h"
 #include "queueing/convolution.h"
 #include "queueing/position_delay.h"
 
@@ -12,6 +15,8 @@ namespace fpsq::queueing {
 
 DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s)
     : k_(k), service_s_(mean_service_s), period_s_(period_s) {
+  const obs::ScopedSolverContext obs_ctx("queueing.dek1");
+  FPSQ_SPAN("dek1.pole_search");
   if (k < 1) {
     throw std::invalid_argument("DEk1Solver: k >= 1 required");
   }
@@ -75,6 +80,8 @@ DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s)
       min_rel_dist = std::min(min_rel_dist, d);
     }
   }
+  obs::record_pole_diagnostics("queueing.dek1", min_rel_dist,
+                               math::vandermonde_condition_estimate(zetas_));
   if (min_rel_dist <= 10.0 * ErlangMixMgf::kPoleClash) {
     degenerate_ = true;
     mgf_ = ErlangMixMgf{};  // point mass at zero; weights remain inspectable

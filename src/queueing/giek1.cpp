@@ -4,6 +4,9 @@
 #include <stdexcept>
 
 #include "math/fixed_point.h"
+#include "math/linalg.h"
+#include "obs/solver_telemetry.h"
+#include "obs/trace.h"
 
 namespace fpsq::queueing {
 
@@ -50,6 +53,8 @@ ArrivalTransform gamma_arrivals_mean_cov(double mean_s, double cov) {
 GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
                          ArrivalTransform arrivals)
     : k_(k), service_s_(mean_service_s), arrivals_(std::move(arrivals)) {
+  const obs::ScopedSolverContext obs_ctx("queueing.giek1");
+  FPSQ_SPAN("giek1.pole_search");
   if (k < 1) {
     throw std::invalid_argument("GiEk1Solver: k >= 1 required");
   }
@@ -123,6 +128,8 @@ GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
                        std::max(std::abs(poles_[i]), std::abs(poles_[j])));
     }
   }
+  obs::record_pole_diagnostics("queueing.giek1", min_rel,
+                               math::vandermonde_condition_estimate(zetas_));
   if (min_rel <= 10.0 * ErlangMixMgf::kPoleClash) {
     degenerate_ = true;
     mgf_ = ErlangMixMgf{};

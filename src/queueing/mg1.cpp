@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "math/roots.h"
+#include "obs/solver_telemetry.h"
+#include "obs/trace.h"
 
 namespace fpsq::queueing {
 
@@ -35,6 +37,8 @@ double MG1DeterministicMix::mean_wait() const {
 }
 
 double MG1DeterministicMix::dominant_pole() const {
+  const obs::ScopedSolverContext obs_ctx("queueing.mg1");
+  FPSQ_SPAN("mg1.dominant_pole");
   // g(s) = s - sum_i lambda_i (e^{s d_i} - 1); g(0) = 0, g'(0) = 1 - rho
   // > 0, g concave down eventually: the positive root is unique.
   auto g = [this](double s) {
@@ -48,9 +52,12 @@ double MG1DeterministicMix::dominant_pole() const {
   for (const auto& c : classes_) {
     d_max = std::max(d_max, c.service_s);
   }
-  // g > 0 just right of 0; expand until g < 0.
-  const auto r =
-      math::find_root_expanding(g, 1e-9 / d_max, 0.1 / d_max, 1e-13);
+  // g > 0 just right of 0; expand until g < 0. The root is O(1/d_max),
+  // so the tolerance must scale with it: an absolute 1e-13 sits below
+  // the double spacing there and can never be met.
+  const auto r = obs::require_converged(
+      math::find_root_expanding(g, 1e-9 / d_max, 0.1 / d_max, 1e-12 / d_max),
+      "MG1DeterministicMix::dominant_pole");
   return r.root;
 }
 

@@ -5,8 +5,11 @@
 #include <limits>
 #include <stdexcept>
 
+#include "math/linalg.h"
 #include "math/polynomial_roots.h"
 #include "math/roots.h"
+#include "obs/solver_telemetry.h"
+#include "obs/trace.h"
 
 namespace fpsq::queueing {
 
@@ -61,6 +64,8 @@ double MG1ErlangMixService::service_mgf(double s) const {
 }
 
 double MG1ErlangMixService::dominant_pole() const {
+  const obs::ScopedSolverContext obs_ctx("queueing.mg1_erlang");
+  FPSQ_SPAN("mg1_erlang.dominant_pole");
   // g(s) = s - lambda (B(s) - 1): g(0) = 0, g'(0) = 1 - rho > 0,
   // g -> -inf as s -> min_rate; lambda(B - 1) convex => unique root.
   auto g = [this](double s) { return s - lambda_ * (service_mgf(s) - 1.0); };
@@ -71,7 +76,9 @@ double MG1ErlangMixService::dominant_pole() const {
         "MG1ErlangMixService::dominant_pole: no sign change before the "
         "service pole");
   }
-  const auto r = math::brent(g, 1e-12 * min_rate_, hi, 1e-14 * min_rate_);
+  const auto r = obs::require_converged(
+      math::brent(g, 1e-12 * min_rate_, hi, 1e-14 * min_rate_),
+      "MG1ErlangMixService::dominant_pole");
   return r.root;
 }
 
@@ -143,6 +150,8 @@ int MG1ErlangMixService::total_order() const {
 
 ErlangMixMgf MG1ErlangMixService::full_mgf() const {
   using math::Poly;
+  const obs::ScopedSolverContext obs_ctx("queueing.mg1_erlang");
+  FPSQ_SPAN("mg1_erlang.full_mgf");
   // Work in time-scaled units z = s / sigma with sigma the geometric mean
   // of the component rates: this keeps the expanded polynomial's
   // coefficient dynamic range manageable. Poles scale back by sigma; the
@@ -250,16 +259,24 @@ ErlangMixMgf MG1ErlangMixService::full_mgf() const {
     }
   }
   // Pairwise-distinct check (confluent poles need a different expansion).
+  double min_rel_sep = 1.0;
   for (std::size_t i = 0; i < roots.size(); ++i) {
     for (std::size_t j = i + 1; j < roots.size(); ++j) {
       const double scale =
           std::max(std::abs(roots[i]), std::abs(roots[j]));
+      min_rel_sep =
+          std::min(min_rel_sep, std::abs(roots[i] - roots[j]) / scale);
       if (std::abs(roots[i] - roots[j]) < 1e-7 * scale) {
+        obs::record_pole_diagnostics(
+            "queueing.mg1_erlang", min_rel_sep,
+            math::vandermonde_condition_estimate(roots));
         throw std::runtime_error(
             "MG1ErlangMixService::full_mgf: confluent poles");
       }
     }
   }
+  obs::record_pole_diagnostics("queueing.mg1_erlang", min_rel_sep,
+                               math::vandermonde_condition_estimate(roots));
 
   // Residues from the factored form: W = (1-rho) s / g(s);
   // term coefficient c_j = -Res_j / alpha_j = -(1-rho)/g'(alpha_j).

@@ -8,6 +8,7 @@
 
 #include "math/minimize.h"
 #include "math/special.h"
+#include "obs/solver_telemetry.h"
 
 namespace fpsq::queueing {
 
@@ -106,8 +107,11 @@ double ndd1_chernoff_tail(const NDD1Params& q, double x) {
   }
   const double lo = std::max(1e-12 * t_max, best_t - t_max / kGrid);
   const double hi = std::min(t_max, best_t + t_max / kGrid);
-  const auto refined = math::golden_section(
-      [&objective](double t) { return -objective(t); }, lo, hi, 1e-12);
+  const obs::ScopedSolverContext obs_ctx("queueing.ndd1");
+  const auto refined = obs::require_converged(
+      math::golden_section([&objective](double t) { return -objective(t); },
+                           lo, hi, 1e-12),
+      "ndd1_chernoff_tail");
   best_v = std::max(best_v, -refined.value);
   return std::min(1.0, std::exp(best_v));
 }
@@ -125,9 +129,11 @@ double ndd1_poisson_tail(const NDD1Params& q, double x) {
     const double s = std::log(ratio) / d;
     return -s * (x + t) + lambda * t * (ratio - 1.0);
   };
-  const auto r = math::maximize_scan(
-      [&objective](double t) { return objective(t); }, 0.0,
-      0.01 * q.period_s, 1.25, 600, 1e-12);
+  const obs::ScopedSolverContext obs_ctx("queueing.ndd1");
+  const auto r = obs::require_converged(
+      math::maximize_scan([&objective](double t) { return objective(t); },
+                          0.0, 0.01 * q.period_s, 1.25, 600, 1e-12),
+      "ndd1_poisson_tail");
   return std::min(1.0, std::exp(r.value));
 }
 

@@ -30,7 +30,7 @@ void CrossTrafficSource::schedule_next() {
     p.created_s = sim_.now();
     emit_(std::move(p));
     schedule_next();
-  });
+  }, "cross_traffic.arrival");
 }
 
 }  // namespace fpsq::sim

@@ -1,34 +1,106 @@
 #include "sim/event_kernel.h"
 
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#ifndef FPSQ_NO_METRICS
+#include <chrono>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fpsq::sim {
 
-void Simulator::schedule_at(double when, Handler handler) {
+void Simulator::schedule_at(double when, Handler handler,
+                            const char* handler_class) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  heap_.push(Event{when, seq_++, std::move(handler)});
+  heap_.push(Event{when, seq_++, std::move(handler), handler_class});
+  if (heap_.size() > heap_high_water_) {
+    heap_high_water_ = heap_.size();
+  }
 }
 
-void Simulator::schedule_in(double delay, Handler handler) {
+void Simulator::schedule_in(double delay, Handler handler,
+                            const char* handler_class) {
   if (delay < 0.0) {
     throw std::invalid_argument("Simulator::schedule_in: negative delay");
   }
-  schedule_at(now_ + delay, std::move(handler));
+  schedule_at(now_ + delay, std::move(handler), handler_class);
+}
+
+Simulator::ClassSlot& Simulator::slot_for(const char* cls) {
+  for (auto& s : class_slots_) {
+    if (s.cls == cls || std::strcmp(s.cls, cls) == 0) {
+      return s;
+    }
+  }
+  class_slots_.push_back(ClassSlot{cls});
+  return class_slots_.back();
 }
 
 void Simulator::run_until(double t_end) {
+  FPSQ_SPAN("sim.run_until");
+#ifndef FPSQ_NO_METRICS
+  using Clock = std::chrono::steady_clock;
+  const auto run_start = Clock::now();
+#endif
   while (!heap_.empty() && heap_.top().when <= t_end) {
     // Copy out before pop so the handler may schedule new events.
     Event ev = heap_.top();
     heap_.pop();
     now_ = ev.when;
     ++executed_;
+#ifndef FPSQ_NO_METRICS
+    const auto ev_start = Clock::now();
     ev.handler();
+    auto& slot = slot_for(ev.cls);
+    slot.count += 1;
+    slot.wall_s +=
+        std::chrono::duration<double>(Clock::now() - ev_start).count();
+#else
+    ev.handler();
+    slot_for(ev.cls).count += 1;
+#endif
   }
   if (now_ < t_end) now_ = t_end;
+#ifndef FPSQ_NO_METRICS
+  run_wall_s_ +=
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+#endif
+}
+
+std::vector<Simulator::ClassStats> Simulator::class_stats() const {
+  std::vector<ClassStats> out;
+  out.reserve(class_slots_.size());
+  for (const auto& s : class_slots_) {
+    out.push_back(ClassStats{s.cls, s.count, s.wall_s});
+  }
+  return out;
+}
+
+void Simulator::publish_metrics() {
+#ifndef FPSQ_NO_METRICS
+  auto& reg = obs::MetricsRegistry::global();
+  reg.add_counter("sim.events_executed", executed_ - published_executed_);
+  published_executed_ = executed_;
+  if (run_wall_s_ > 0.0) {
+    reg.set_gauge("sim.events_per_sec",
+                  static_cast<double>(executed_) / run_wall_s_);
+  }
+  reg.set_gauge("sim.run_wall_s", run_wall_s_);
+  reg.max_gauge("sim.heap_high_water",
+                static_cast<double>(heap_high_water_));
+  for (auto& s : class_slots_) {
+    const std::string base = std::string("sim.handler.") + s.cls;
+    reg.add_counter(base + ".count", s.count - s.published_count);
+    s.published_count = s.count;
+    reg.set_gauge(base + ".wall_s", s.wall_s);
+  }
+#endif
 }
 
 }  // namespace fpsq::sim

@@ -1,11 +1,18 @@
 // Minimal discrete-event simulation kernel: a time-ordered event heap
 // with deterministic FIFO tie-breaking, so simulation runs are exactly
 // reproducible for a given seed.
+//
+// Instrumentation: every scheduled event carries a handler-class tag (a
+// static string such as "client.emit"); the kernel accumulates per-class
+// execution counts and wall time, tracks the heap's high-water mark, and
+// can publish the lot into the fpsq::obs metrics registry. Wall-clock
+// timing compiles out under -DFPSQ_NO_METRICS.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 namespace fpsq::sim {
@@ -18,10 +25,15 @@ class Simulator {
   [[nodiscard]] double now() const noexcept { return now_; }
 
   /// Schedules `handler` at absolute time `when` (>= now).
-  void schedule_at(double when, Handler handler);
+  /// `handler_class` must point at storage outliving the simulator
+  /// (string literals in practice); it tags the event for the per-class
+  /// execution statistics.
+  void schedule_at(double when, Handler handler,
+                   const char* handler_class = "event");
 
   /// Schedules `handler` after a delay (>= 0).
-  void schedule_in(double delay, Handler handler);
+  void schedule_in(double delay, Handler handler,
+                   const char* handler_class = "event");
 
   /// Runs events until the heap empties or the next event is past
   /// `t_end`; the clock is left at the last executed event (or t_end).
@@ -32,11 +44,36 @@ class Simulator {
     return executed_;
   }
 
+  /// Largest number of pending events ever held by the heap.
+  [[nodiscard]] std::size_t heap_high_water() const noexcept {
+    return heap_high_water_;
+  }
+
+  /// Cumulative wall time spent inside run_until [s]. Zero when the
+  /// build has metrics compiled out.
+  [[nodiscard]] double run_wall_s() const noexcept { return run_wall_s_; }
+
+  /// Per-handler-class execution statistics (merged by class name).
+  struct ClassStats {
+    std::string handler_class;
+    std::uint64_t count = 0;
+    double wall_s = 0.0;  ///< zero when metrics are compiled out
+  };
+  [[nodiscard]] std::vector<ClassStats> class_stats() const;
+
+  /// Publishes kernel statistics into obs::MetricsRegistry::global():
+  /// `sim.events_executed`, `sim.events_per_sec`, `sim.heap_high_water`,
+  /// `sim.run_wall_s` and `sim.handler.<class>.{count,wall_s}`. Safe to
+  /// call repeatedly; counters advance by the delta since the last call.
+  /// A no-op under -DFPSQ_NO_METRICS.
+  void publish_metrics();
+
  private:
   struct Event {
     double when;
     std::uint64_t seq;
     Handler handler;
+    const char* cls;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -44,11 +81,25 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  // Handler classes are few (under a dozen per scenario): a linear scan
+  // keyed on the literal's address, with a strcmp fallback for equal
+  // names from different literals, beats hashing at this scale.
+  struct ClassSlot {
+    const char* cls;
+    std::uint64_t count = 0;
+    double wall_s = 0.0;
+    std::uint64_t published_count = 0;  // counter delta bookkeeping
+  };
+  ClassSlot& slot_for(const char* cls);
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<ClassSlot> class_slots_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t published_executed_ = 0;
+  std::size_t heap_high_water_ = 0;
+  double run_wall_s_ = 0.0;
 };
 
 }  // namespace fpsq::sim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dist/dist.h"
+#include "obs/trace.h"
 #include "sim/cross_traffic.h"
 #include "sim/event_kernel.h"
 #include "sim/link.h"
@@ -56,6 +57,7 @@ double uplink_load(const GamingScenarioConfig& c) {
 }
 
 GamingScenarioResult run_gaming_scenario(const GamingScenarioConfig& cfg) {
+  FPSQ_SPAN("sim.gaming_scenario");
   if (cfg.n_clients < 1 || !(cfg.tick_ms > 0.0) ||
       !(cfg.duration_s > cfg.warmup_s) || cfg.erlang_k < 1) {
     throw std::invalid_argument("run_gaming_scenario: bad config");
@@ -216,9 +218,12 @@ GamingScenarioResult run_gaming_scenario(const GamingScenarioConfig& cfg) {
   auto client_rng = std::make_shared<dist::Rng>(master.split());
   for (std::size_t c = 0; c < n; ++c) {
     const double phase = master.uniform01() * tick_s;
-    // Recursive periodic emission via a shared callable.
+    // Recursive periodic emission via a shared callable. The closure
+    // holds only a weak reference to itself (the queued wrappers own
+    // it), so no shared_ptr cycle outlives the simulation.
     auto emit = std::make_shared<std::function<void()>>();
-    *emit = [&sim, &uplinks, &next_packet_id, emit, c, client_size,
+    const std::weak_ptr<std::function<void()>> weak_emit = emit;
+    *emit = [&sim, &uplinks, &next_packet_id, weak_emit, c, client_size,
              client_period, client_rng]() {
       SimPacket p;
       p.id = next_packet_id++;
@@ -227,10 +232,12 @@ GamingScenarioResult run_gaming_scenario(const GamingScenarioConfig& cfg) {
       p.flow_id = static_cast<std::uint16_t>(c);
       p.created_s = sim.now();
       uplinks[c]->send(std::move(p));
-      sim.schedule_in(client_period(*client_rng),
-                      [emit]() { (*emit)(); });
+      if (auto self = weak_emit.lock()) {
+        sim.schedule_in(client_period(*client_rng),
+                        [self]() { (*self)(); }, "client.emit");
+      }
     };
-    sim.schedule_at(phase, [emit]() { (*emit)(); });
+    sim.schedule_at(phase, [emit]() { (*emit)(); }, "client.emit");
   }
 
   // Server: burst every tick; total size Erlang(K, mean = N * P_S).
@@ -242,8 +249,9 @@ GamingScenarioResult run_gaming_scenario(const GamingScenarioConfig& cfg) {
   std::uint32_t burst_id = 0;
   auto tick_period = make_period_sampler(cfg.tick_jitter_cov);
   auto emit_burst = std::make_shared<std::function<void()>>();
+  const std::weak_ptr<std::function<void()>> weak_burst = emit_burst;
   *emit_burst = [&sim, &down_bottleneck, &burst_law, &server_rng, &cfg,
-                 &next_packet_id, &burst_id, emit_burst, n,
+                 &next_packet_id, &burst_id, weak_burst, n,
                  tick_period]() {
     const double total = burst_law.sample(server_rng);
     // Split the burst over the clients.
@@ -280,11 +288,13 @@ GamingScenarioResult run_gaming_scenario(const GamingScenarioConfig& cfg) {
       down_bottleneck.send(std::move(p));
     }
     ++burst_id;
-    sim.schedule_in(tick_period(server_rng),
-                    [emit_burst]() { (*emit_burst)(); });
+    if (auto self = weak_burst.lock()) {
+      sim.schedule_in(tick_period(server_rng),
+                      [self]() { (*self)(); }, "server.burst");
+    }
   };
   sim.schedule_at(master.uniform01() * tick_s,
-                  [emit_burst]() { (*emit_burst)(); });
+                  [emit_burst]() { (*emit_burst)(); }, "server.burst");
 
   // Optional elastic cross traffic on both bottleneck directions.
   std::unique_ptr<CrossTrafficSource> cross_up, cross_down;
@@ -310,6 +320,7 @@ GamingScenarioResult run_gaming_scenario(const GamingScenarioConfig& cfg) {
   }
 
   sim.run_until(cfg.duration_s);
+  sim.publish_metrics();
   result.events = sim.events_executed();
   return result;
 }

@@ -49,12 +49,13 @@ void Link::start_next() {
       sim_.schedule_in(prop_delay_s_,
                        [this, p = std::move(p)]() mutable {
                          deliver_(std::move(p));
-                       });
+                       },
+                       "link.propagation");
     } else {
       deliver_(std::move(p));
     }
     start_next();
-  });
+  }, "link.tx_complete");
 }
 
 }  // namespace fpsq::sim

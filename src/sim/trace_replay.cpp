@@ -112,17 +112,18 @@ TraceReplayResult replay_trace(const trace::Trace& trace,
       sim.schedule_at(when, [&sim, &uplink_for, proto]() mutable {
         proto.created_s = sim.now();
         uplink_for(proto.flow_id).send(std::move(proto));
-      });
+      }, "replay.upstream");
     } else {
       sim.schedule_at(when, [&sim, &down_bottleneck, proto]() mutable {
         proto.created_s = sim.now();
         proto.burst_start_s = sim.now();
         down_bottleneck.send(std::move(proto));
-      });
+      }, "replay.downstream");
     }
   }
   // Run past the horizon so queued work drains.
   sim.run_until(horizon + 60.0);
+  sim.publish_metrics();
   result.events = sim.events_executed();
   return result;
 }

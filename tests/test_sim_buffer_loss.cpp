@@ -112,12 +112,15 @@ TEST(MD1Loss, ApproximationTracksPoissonLinkSimulation) {
     Link link{sim, 1e6, std::move(bounded), [](SimPacket&&) {}};
     dist::Rng rng{17};
     auto arrive = std::make_shared<std::function<void()>>();
-    *arrive = [&sim, &link, &rng, &arrivals, lambda, arrive]() {
+    const std::weak_ptr<std::function<void()>> weak_arrive = arrive;
+    *arrive = [&sim, &link, &rng, &arrivals, lambda, weak_arrive]() {
       SimPacket p;
       p.size_bytes = 1000;
       ++arrivals;
       link.send(std::move(p));
-      sim.schedule_in(rng.exponential(lambda), [arrive]() { (*arrive)(); });
+      if (auto self = weak_arrive.lock()) {
+        sim.schedule_in(rng.exponential(lambda), [self]() { (*self)(); });
+      }
     };
     sim.schedule_at(0.0, [arrive]() { (*arrive)(); });
     sim.run_until(2000.0);

@@ -28,15 +28,18 @@ DelayTap run_poisson_link(double lambda_pps, const dist::Distribution& size,
   dist::Rng rng{seed};
   std::uint64_t id = 0;
   auto arrive = std::make_shared<std::function<void()>>();
-  *arrive = [&sim, &link, &rng, &size, &id, lambda_pps, arrive]() {
+  const std::weak_ptr<std::function<void()>> weak_arrive = arrive;
+  *arrive = [&sim, &link, &rng, &size, &id, lambda_pps, weak_arrive]() {
     SimPacket p;
     p.id = id++;
     p.size_bytes = static_cast<std::uint32_t>(
         std::max(1.0, std::round(size.sample(rng))));
     p.created_s = sim.now();
     link.send(std::move(p));
-    sim.schedule_in(rng.exponential(lambda_pps),
-                    [arrive]() { (*arrive)(); });
+    if (auto self = weak_arrive.lock()) {
+      sim.schedule_in(rng.exponential(lambda_pps),
+                      [self]() { (*self)(); });
+    }
   };
   sim.schedule_at(0.0, [arrive]() { (*arrive)(); });
   sim.run_until(duration_s);

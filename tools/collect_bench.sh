@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs every reproduction bench, collects their BENCHJSON lines (see
+# bench/bench_util.h), and aggregates them into BENCH_<date>.json — a JSON
+# array with one object per bench: {"name", "wall_s", "metrics": {...}}.
+#
+# Usage: tools/collect_bench.sh [build-dir] [output-file]
+#   build-dir    defaults to ./build
+#   output-file  defaults to BENCH_$(date +%Y%m%d).json in the repo root
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out="${2:-$repo_root/BENCH_$(date +%Y%m%d).json}"
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: $build_dir/bench not found — build the project first" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+lines=()
+for exe in "$build_dir"/bench/bench_*; do
+  [[ -x "$exe" && ! -d "$exe" ]] || continue
+  name="$(basename "$exe")"
+  # bench_perf_solver is a google-benchmark microbenchmark with its own
+  # output format and no BENCHJSON line; skip it here.
+  if [[ "$name" == "bench_perf_solver" ]]; then
+    continue
+  fi
+  echo "running $name ..." >&2
+  json="$("$exe" | sed -n 's/^BENCHJSON //p')"
+  if [[ -z "$json" ]]; then
+    echo "warning: $name emitted no BENCHJSON line" >&2
+    continue
+  fi
+  lines+=("$json")
+done
+
+if [[ ${#lines[@]} -eq 0 ]]; then
+  echo "error: no BENCHJSON lines collected" >&2
+  exit 1
+fi
+
+{
+  echo "["
+  for i in "${!lines[@]}"; do
+    sep=","
+    [[ $i -eq $((${#lines[@]} - 1)) ]] && sep=""
+    echo "  ${lines[$i]}${sep}"
+  done
+  echo "]"
+} > "$out"
+
+echo "wrote ${#lines[@]} bench results to $out" >&2

@@ -6,8 +6,12 @@
 //   fpsq generate   --game NAME --out FILE [...]      synthetic trace
 //   fpsq analyze    --in FILE [--pcap ...]            Section-2.2 stats + K fits
 //   fpsq validate   --load RHO [...]                  model vs simulation
+//   fpsq profile    [scenario flags]                  telemetry summary
 //
+// Every command additionally accepts --metrics-out FILE (metrics JSON)
+// and --trace-out FILE (Chrome trace JSON); see docs/OBSERVABILITY.md.
 // Run `fpsq help` or `fpsq help <command>` for the full flag list.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -19,6 +23,8 @@
 #include "core/rtt_model.h"
 #include "core/validation.h"
 #include "dist/fitting.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/trace_replay.h"
 #include "trace/analyzer.h"
 #include "trace/pcap.h"
@@ -219,7 +225,32 @@ int cmd_report(const Args& args) {
   core::ReportOptions opt;
   opt.n_clients = args.number("gamers", 60.0);
   opt.epsilon = args.number("eps", 1e-5);
+  opt.include_telemetry = args.number("telemetry", 0.0) != 0.0;
   std::fputs(core::scenario_report_markdown(s, opt).c_str(), stdout);
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const auto s = scenario_from(args);
+  const double n = args.number("gamers", 60.0);
+  const double eps = args.number("eps", 1e-5);
+  print_scenario(s);
+  // Analytic stack: quantile + breakdown exercise the full solver chain
+  // (fixed-point pole searches, M/D/1 dominant pole, convolutions).
+  const core::RttModel model{s, n};
+  (void)model.rtt_mean_ms();
+  (void)model.breakdown_ms(eps);
+  // Simulation stack: a short packet-level run for event-loop stats.
+  core::ValidationOptions vopt;
+  vopt.duration_s = args.number("duration", 10.0);
+  vopt.warmup_s = std::min(2.0, 0.25 * vopt.duration_s);
+  vopt.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  (void)core::validate_point(s, static_cast<int>(n), vopt);
+  obs::ensure_baseline_schema();
+  std::fputs(
+      obs::render_summary(obs::MetricsRegistry::global().snapshot())
+          .c_str(),
+      stdout);
   return 0;
 }
 
@@ -332,11 +363,17 @@ int cmd_help(const std::string& topic) {
         "fpsq validate [--load 0.5] [--duration 120] [--prob 0.999]\n"
         "              [--seed 1] [scenario flags]\n"
         "  analytic model vs packet-level simulation\n");
+  } else if (topic == "profile") {
+    std::printf(
+        "fpsq profile [--gamers 60] [--duration 10] [--seed 1]\n"
+        "             [scenario flags]\n"
+        "  runs the analytic solvers and a short simulation, then prints\n"
+        "  the solver/simulator telemetry summary\n");
   } else {
     std::printf(
         "fpsq <command> [--flag value ...]\n\n"
         "commands: rtt report dimension sweep generate analyze replay"
-        " validate help\n\n"
+        " validate profile help\n\n"
         "scenario flags (defaults = paper Section 4):\n"
         "  --k 9          burst-size Erlang order\n"
         "  --tick 40      tick interval T [ms]\n"
@@ -349,9 +386,51 @@ int cmd_help(const std::string& topic) {
         "  --proc 0       server processing [ms]\n"
         "  --jitter 0     server tick CoV (0 = paper's Det ticks;\n"
         "                 > 0 uses the exact GI/E_K/1 model)\n\n"
+        "observability flags (every command):\n"
+        "  --metrics-out FILE   write solver/simulator metrics JSON\n"
+        "  --trace-out FILE     record spans, write Chrome trace JSON\n\n"
         "`fpsq help <command>` shows command-specific flags.\n");
   }
   return 0;
+}
+
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "rtt") return cmd_rtt(args);
+  if (cmd == "report") return cmd_report(args);
+  if (cmd == "dimension") return cmd_dimension(args);
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "analyze") return cmd_analyze(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "validate") return cmd_validate(args);
+  if (cmd == "profile") return cmd_profile(args);
+  std::fprintf(stderr, "unknown command '%s' (try: fpsq help)\n",
+               cmd.c_str());
+  return 2;
+}
+
+/// Exports --metrics-out / --trace-out if requested. Runs even when the
+/// command failed, so a partial run's telemetry is still inspectable.
+int export_observability(const Args& args) {
+  int rc = 0;
+  if (args.has("metrics-out")) {
+    obs::ensure_baseline_schema();
+    if (!obs::write_metrics_json(
+            args.text("metrics-out"),
+            obs::MetricsRegistry::global().snapshot())) {
+      std::fprintf(stderr, "fpsq: cannot write metrics to '%s'\n",
+                   args.text("metrics-out").c_str());
+      rc = 1;
+    }
+  }
+  if (args.has("trace-out")) {
+    if (!obs::write_trace_json(args.text("trace-out"))) {
+      std::fprintf(stderr, "fpsq: cannot write trace to '%s'\n",
+                   args.text("trace-out").c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
@@ -366,17 +445,18 @@ int main(int argc, char** argv) {
       return cmd_help(argc > 2 ? argv[2] : "");
     }
     const Args args{argc, argv, 2};
-    if (cmd == "rtt") return cmd_rtt(args);
-    if (cmd == "report") return cmd_report(args);
-    if (cmd == "dimension") return cmd_dimension(args);
-    if (cmd == "sweep") return cmd_sweep(args);
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "analyze") return cmd_analyze(args);
-    if (cmd == "replay") return cmd_replay(args);
-    if (cmd == "validate") return cmd_validate(args);
-    std::fprintf(stderr, "unknown command '%s' (try: fpsq help)\n",
-                 cmd.c_str());
-    return 2;
+    if (args.has("trace-out")) {
+      obs::TraceRecorder::global().set_enabled(true);
+    }
+    int rc;
+    try {
+      rc = dispatch(cmd, args);
+    } catch (...) {
+      (void)export_observability(args);
+      throw;
+    }
+    const int obs_rc = export_observability(args);
+    return rc != 0 ? rc : obs_rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fpsq %s: %s\n", cmd.c_str(), e.what());
     return 1;
