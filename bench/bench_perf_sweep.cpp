@@ -1,0 +1,205 @@
+// Performance bench for the parallel sweep engine + solver cache: the
+// Table-4 dimensioning grid, a Figure-3 load sweep and a replication
+// batch, each timed serial-vs-parallel and cold-vs-warm-cache, with a
+// bit-identity check between the serial and parallel results.
+//
+// Headline metrics:
+//   table4_speedup_parallel_cached   seed-style serial/no-cache wall time
+//                                    over parallel+cache wall time (the
+//                                    acceptance criterion's >= 3x on a
+//                                    4+-core machine)
+//   *_bit_identical                  1.0 when parallel == serial bitwise
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/sweep.h"
+#include "par/thread_pool.h"
+#include "queueing/solver_cache.h"
+#include "sim/replication.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+fpsq::core::DimensioningTableSpec table4_spec() {
+  fpsq::core::DimensioningTableSpec spec;
+  spec.ks = {2, 5, 9, 14, 20};
+  spec.rtt_bounds_ms = {40.0, 50.0, 60.0, 80.0, 100.0};
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fpsq;
+  bench::header("perf: sweep engine",
+                "parallel + cached table/figure reproduction");
+  bench::JsonReport jr{"perf_sweep"};
+  auto& cache = queueing::SolverCache::global();
+  const unsigned hw = par::default_thread_count();
+  jr.metric("threads", hw);
+
+  // ---- Table-4 dimensioning grid ---------------------------------------
+  // Seed behaviour: serial, no memoization (every probe re-solves).
+  const auto spec = table4_spec();
+  par::set_global_thread_count(1);
+  cache.set_enabled(false);
+  cache.clear();
+  auto t0 = Clock::now();
+  const auto serial_nocache = core::dimension_table(spec);
+  const double table4_serial_nocache_s = seconds_since(t0);
+
+  // Serial with the cache: the algorithmic win alone.
+  cache.set_enabled(true);
+  cache.clear();
+  t0 = Clock::now();
+  const auto serial_cached = core::dimension_table(spec);
+  const double table4_serial_cached_s = seconds_since(t0);
+
+  // Parallel with a cold cache, then a warm rerun.
+  par::set_global_thread_count(hw);
+  cache.clear();
+  t0 = Clock::now();
+  const auto parallel_cold = core::dimension_table(spec);
+  const double table4_parallel_cold_s = seconds_since(t0);
+  t0 = Clock::now();
+  const auto parallel_warm = core::dimension_table(spec);
+  const double table4_parallel_warm_s = seconds_since(t0);
+
+  bool identical = serial_nocache.size() == parallel_cold.size();
+  for (std::size_t i = 0; identical && i < serial_nocache.size(); ++i) {
+    identical = serial_nocache[i].result.rho_max ==
+                    parallel_cold[i].result.rho_max &&
+                serial_nocache[i].result.rtt_at_max_ms ==
+                    parallel_cold[i].result.rtt_at_max_ms &&
+                parallel_cold[i].result.rho_max ==
+                    parallel_warm[i].result.rho_max &&
+                serial_cached[i].result.rho_max ==
+                    parallel_cold[i].result.rho_max;
+  }
+  std::printf("Table-4 grid (%zu cells):\n", serial_nocache.size());
+  std::printf("  serial, no cache   %8.3f s   (seed behaviour)\n",
+              table4_serial_nocache_s);
+  std::printf("  serial, cache      %8.3f s\n", table4_serial_cached_s);
+  std::printf("  parallel x%-2u cold  %8.3f s\n", hw,
+              table4_parallel_cold_s);
+  std::printf("  parallel x%-2u warm  %8.3f s\n", hw,
+              table4_parallel_warm_s);
+  std::printf("  bit-identical      %s\n", identical ? "yes" : "NO");
+  jr.metric("table4_serial_nocache_s", table4_serial_nocache_s);
+  jr.metric("table4_serial_cached_s", table4_serial_cached_s);
+  jr.metric("table4_parallel_cold_s", table4_parallel_cold_s);
+  jr.metric("table4_parallel_warm_s", table4_parallel_warm_s);
+  jr.metric("table4_speedup_cache_only",
+            table4_serial_nocache_s / table4_serial_cached_s);
+  jr.metric("table4_speedup_parallel_cached",
+            table4_serial_nocache_s / table4_parallel_cold_s);
+  jr.metric("table4_bit_identical", identical ? 1.0 : 0.0);
+
+  // ---- Figure-3 load sweep ---------------------------------------------
+  core::RttSweepSpec sweep;
+  for (double rho = 0.02; rho < 0.93; rho += 0.01) {
+    sweep.n_values.push_back(
+        sweep.scenario.clients_for_downlink_load(rho));
+  }
+  par::set_global_thread_count(1);
+  cache.set_enabled(false);
+  core::RttSweepSpec sweep_seed = sweep;
+  sweep_seed.use_cache = false;
+  sweep_seed.warm_chaining = false;
+  t0 = Clock::now();
+  const auto sweep_serial = core::sweep_rtt_quantiles(sweep_seed);
+  const double sweep_serial_s = seconds_since(t0);
+
+  cache.set_enabled(true);
+  cache.clear();
+  par::set_global_thread_count(hw);
+  t0 = Clock::now();
+  const auto sweep_parallel = core::sweep_rtt_quantiles(sweep);
+  const double sweep_parallel_s = seconds_since(t0);
+  t0 = Clock::now();
+  const auto sweep_warm = core::sweep_rtt_quantiles(sweep);
+  const double sweep_warm_s = seconds_since(t0);
+
+  double max_rel_err = 0.0;
+  bool sweep_identical =
+      sweep_parallel.size() == sweep_warm.size();
+  for (std::size_t i = 0; i < sweep_parallel.size(); ++i) {
+    // Warm chaining changes ulps vs the seed path by design; report the
+    // worst relative deviation, and demand exact equality between the
+    // cold and warm cached runs.
+    const double a = sweep_serial[i].rtt_quantile_ms;
+    const double b = sweep_parallel[i].rtt_quantile_ms;
+    max_rel_err = std::max(max_rel_err, std::abs(a - b) / a);
+    sweep_identical = sweep_identical &&
+                      b == sweep_warm[i].rtt_quantile_ms;
+  }
+  std::printf("\nFigure-3 sweep (%zu points):\n", sweep.n_values.size());
+  std::printf("  serial seed path   %8.3f s\n", sweep_serial_s);
+  std::printf("  parallel+cache     %8.3f s (cold), %.3f s (warm)\n",
+              sweep_parallel_s, sweep_warm_s);
+  std::printf("  cold==warm bitwise %s, max |rel err| vs seed %.2e\n",
+              sweep_identical ? "yes" : "NO", max_rel_err);
+  jr.metric("sweep_serial_s", sweep_serial_s);
+  jr.metric("sweep_parallel_cold_s", sweep_parallel_s);
+  jr.metric("sweep_parallel_warm_s", sweep_warm_s);
+  jr.metric("sweep_speedup", sweep_serial_s / sweep_parallel_s);
+  jr.metric("sweep_bit_identical", sweep_identical ? 1.0 : 0.0);
+  jr.metric("sweep_max_rel_err_vs_seed", max_rel_err);
+
+  // ---- Independent replications ----------------------------------------
+  sim::GamingScenarioConfig cfg;
+  cfg.n_clients = 40;
+  cfg.duration_s = 8.0;
+  cfg.warmup_s = 1.0;
+  cfg.store_samples = false;
+  const std::size_t reps = 8;
+  par::set_global_thread_count(1);
+  t0 = Clock::now();
+  const auto reps_serial = sim::run_replications(cfg, reps);
+  const double reps_serial_s = seconds_since(t0);
+  par::set_global_thread_count(hw);
+  t0 = Clock::now();
+  const auto reps_parallel = sim::run_replications(cfg, reps);
+  const double reps_parallel_s = seconds_since(t0);
+  bool reps_identical = reps_serial.size() == reps_parallel.size();
+  std::uint64_t events = 0;
+  for (std::size_t r = 0; r < reps_serial.size(); ++r) {
+    events += reps_serial[r].events;
+    reps_identical =
+        reps_identical && reps_serial[r].events == reps_parallel[r].events &&
+        reps_serial[r].model_rtt.moments().mean() ==
+            reps_parallel[r].model_rtt.moments().mean();
+  }
+  const double events_per_sec =
+      reps_serial_s > 0.0 ? static_cast<double>(events) / reps_serial_s
+                          : 0.0;
+  std::printf("\nReplications (%zu x %.0f s sim):\n", reps,
+              cfg.duration_s);
+  std::printf("  serial             %8.3f s  (%.2e events/s)\n",
+              reps_serial_s, events_per_sec);
+  std::printf("  parallel x%-2u       %8.3f s\n", hw, reps_parallel_s);
+  std::printf("  bit-identical      %s\n", reps_identical ? "yes" : "NO");
+  jr.metric("reps_serial_s", reps_serial_s);
+  jr.metric("reps_parallel_s", reps_parallel_s);
+  jr.metric("reps_speedup", reps_serial_s / reps_parallel_s);
+  jr.metric("reps_bit_identical", reps_identical ? 1.0 : 0.0);
+  jr.metric("sim_events_per_sec", events_per_sec);
+
+  const auto stats = cache.stats();
+  jr.metric("cache_hits", static_cast<double>(stats.hits));
+  jr.metric("cache_misses", static_cast<double>(stats.misses));
+  jr.metric("cache_entries", static_cast<double>(stats.entries));
+
+  par::set_global_thread_count(1);
+  bench::footnote(
+      "Speedups vs the seed's serial/no-cache path; parallel results are"
+      " checked bit-identical against serial at every stage.");
+  return 0;
+}

@@ -31,15 +31,21 @@ DimensioningResult dimension_for_rtt(const AccessScenario& scenario,
 
   double lo = 0.0;   // feasible
   double hi = rho_ceil;
-  if (rtt_at_load(hi) <= rtt_bound_ms) {
+  const double rtt_at_hi = rtt_at_load(hi);
+  if (rtt_at_hi <= rtt_bound_ms) {
     // Bound never binds before instability.
     const double n = scenario.clients_for_downlink_load(hi);
-    return {hi, n, static_cast<int>(std::floor(n)), rtt_at_load(hi)};
+    return {hi, n, static_cast<int>(std::floor(n)), rtt_at_hi};
   }
-  // Ensure a feasible toe-hold exists above zero.
+  // Ensure a feasible toe-hold exists above zero. Carry the RTT at the
+  // feasible end through the whole search: every probe is evaluated
+  // exactly once (the seed re-solved the final `lo` and the early-return
+  // `hi` a second time, each a full zeta root search).
   double probe = std::min(0.01, 0.5 * rho_ceil);
-  while (probe > 1e-9 && rtt_at_load(probe) > rtt_bound_ms) {
+  double rtt_at_lo = rtt_at_load(probe);
+  while (probe > 1e-9 && rtt_at_lo > rtt_bound_ms) {
     probe *= 0.5;
+    if (probe > 1e-9) rtt_at_lo = rtt_at_load(probe);
   }
   if (probe <= 1e-9) {
     return {0.0, 0.0, 0, scenario.deterministic_rtt_ms()};
@@ -47,8 +53,10 @@ DimensioningResult dimension_for_rtt(const AccessScenario& scenario,
   lo = probe;
   while (hi - lo > rho_tol) {
     const double mid = 0.5 * (lo + hi);
-    if (rtt_at_load(mid) <= rtt_bound_ms) {
+    const double rtt_at_mid = rtt_at_load(mid);
+    if (rtt_at_mid <= rtt_bound_ms) {
       lo = mid;
+      rtt_at_lo = rtt_at_mid;
     } else {
       hi = mid;
     }
@@ -57,7 +65,7 @@ DimensioningResult dimension_for_rtt(const AccessScenario& scenario,
   r.rho_max = lo;
   r.n_max = scenario.clients_for_downlink_load(lo);
   r.n_max_int = static_cast<int>(std::floor(r.n_max + 1e-9));
-  r.rtt_at_max_ms = rtt_at_load(lo);
+  r.rtt_at_max_ms = rtt_at_lo;
   return r;
 }
 

@@ -6,6 +6,7 @@
 
 #include "queueing/chernoff.h"
 #include "queueing/convolution.h"
+#include "queueing/solver_cache.h"
 
 namespace fpsq::core {
 
@@ -38,6 +39,12 @@ Complex decollide(Complex pole, const ErlangMixMgf& reference) {
 
 RttModel::RttModel(const AccessScenario& scenario, double n_clients,
                    UpstreamVariant upstream)
+    : RttModel(scenario, n_clients,
+               RttModelOptions{upstream, /*use_cache=*/true,
+                               /*warm_neighbor=*/nullptr}) {}
+
+RttModel::RttModel(const AccessScenario& scenario, double n_clients,
+                   const RttModelOptions& options)
     : scenario_(scenario), n_(n_clients) {
   scenario_.validate();
   if (!(n_clients > 0.0)) {
@@ -61,14 +68,43 @@ RttModel::RttModel(const AccessScenario& scenario, double n_clients,
   // same atom + simple-pole MGF shape, and coincide at zero jitter).
   const double mean_burst_service_s =
       8.0 * n_ * scenario_.server_packet_bytes / scenario_.bottleneck_bps;
+  auto& cache = queueing::SolverCache::global();
   if (scenario_.tick_jitter_cov > 0.0) {
-    jittered_ = std::make_unique<queueing::GiEk1Solver>(
-        scenario_.erlang_k, mean_burst_service_s,
-        queueing::gamma_arrivals_mean_cov(tick_s,
-                                          scenario_.tick_jitter_cov));
+    auto arrivals = queueing::gamma_arrivals_mean_cov(
+        tick_s, scenario_.tick_jitter_cov);
+    if (options.use_cache) {
+      const queueing::GiEk1Solver* seed =
+          options.warm_neighbor != nullptr &&
+                  options.warm_neighbor->jittered_ != nullptr
+              ? options.warm_neighbor->jittered_.get()
+              : nullptr;
+      jittered_ = seed != nullptr
+                      ? cache.giek1_chained(scenario_.erlang_k,
+                                            mean_burst_service_s,
+                                            arrivals, seed)
+                      : cache.giek1(scenario_.erlang_k,
+                                    mean_burst_service_s, arrivals);
+    } else {
+      jittered_ = std::make_shared<const queueing::GiEk1Solver>(
+          scenario_.erlang_k, mean_burst_service_s, std::move(arrivals));
+    }
   } else {
-    downstream_ = std::make_unique<queueing::DEk1Solver>(
-        scenario_.erlang_k, mean_burst_service_s, tick_s);
+    if (options.use_cache) {
+      const queueing::DEk1Solver* seed =
+          options.warm_neighbor != nullptr &&
+                  options.warm_neighbor->downstream_ != nullptr
+              ? options.warm_neighbor->downstream_.get()
+              : nullptr;
+      downstream_ =
+          seed != nullptr
+              ? cache.dek1_chained(scenario_.erlang_k,
+                                   mean_burst_service_s, tick_s, seed)
+              : cache.dek1(scenario_.erlang_k, mean_burst_service_s,
+                           tick_s);
+    } else {
+      downstream_ = std::make_shared<const queueing::DEk1Solver>(
+          scenario_.erlang_k, mean_burst_service_s, tick_s);
+    }
   }
   const double beta = scenario_.erlang_k / mean_burst_service_s;
   position_ = std::make_unique<queueing::ErlangMixture>(
@@ -78,10 +114,15 @@ RttModel::RttModel(const AccessScenario& scenario, double n_clients,
   const double lambda_up = n_ / tick_s;
   const double service_up =
       8.0 * scenario_.client_packet_bytes / scenario_.bottleneck_bps;
-  queueing::MD1 md1{lambda_up, service_up};
-  ErlangMixMgf up = upstream == UpstreamVariant::kPaperEq14
-                        ? md1.paper_mgf()
-                        : md1.asymptotic_mgf();
+  const bool want_paper = options.upstream == UpstreamVariant::kPaperEq14;
+  ErlangMixMgf up;
+  if (options.use_cache) {
+    const auto md1 = cache.md1(lambda_up, service_up);
+    up = want_paper ? md1->paper : md1->asymptotic;
+  } else {
+    queueing::MD1 md1{lambda_up, service_up};
+    up = want_paper ? md1.paper_mgf() : md1.asymptotic_mgf();
+  }
   // Keep the upstream pole clear of the D/E_K/1 pole set before the
   // simple-pole product below.
   if (!up.terms().empty()) {

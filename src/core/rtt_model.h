@@ -35,6 +35,22 @@ enum class UpstreamVariant {
   kAsymptotic,  ///< atom chosen to match the exact M/D/1 tail constant
 };
 
+class RttModel;
+
+/// Construction knobs beyond the scenario itself.
+struct RttModelOptions {
+  UpstreamVariant upstream = UpstreamVariant::kPaperEq14;
+  /// Route solver construction through queueing::SolverCache::global():
+  /// repeated evaluations at (quantized-)equal parameters share one
+  /// canonical solution. Off = always solve fresh (the seed behaviour).
+  bool use_cache = true;
+  /// Optional adjacent-point model (same K, nearby load) whose zeta
+  /// roots seed the downstream fixed-point search. Only honoured on a
+  /// cache miss; see SolverCache::dek1_chained for the determinism
+  /// rules. May be null.
+  const RttModel* warm_neighbor = nullptr;
+};
+
 class RttModel {
  public:
   /// @param scenario   network/traffic parameters (validated)
@@ -45,6 +61,10 @@ class RttModel {
   ///         MGF of eq. 34, which requires K >= 2)
   RttModel(const AccessScenario& scenario, double n_clients,
            UpstreamVariant upstream = UpstreamVariant::kPaperEq14);
+
+  /// Full-options constructor (cache routing, warm starts).
+  RttModel(const AccessScenario& scenario, double n_clients,
+           const RttModelOptions& options);
 
   [[nodiscard]] const AccessScenario& scenario() const noexcept {
     return scenario_;
@@ -128,8 +148,11 @@ class RttModel {
   double rho_down_ = 0.0;
   bool burst_dropped_ = false;
   queueing::ErlangMixMgf upstream_;
-  std::unique_ptr<queueing::DEk1Solver> downstream_;   ///< det ticks only
-  std::unique_ptr<queueing::GiEk1Solver> jittered_;    ///< jittered ticks
+  // Shared with queueing::SolverCache when options.use_cache (the solvers
+  // are immutable after construction, so sharing is safe); sole owners
+  // otherwise.
+  std::shared_ptr<const queueing::DEk1Solver> downstream_;  ///< det ticks
+  std::shared_ptr<const queueing::GiEk1Solver> jittered_;   ///< jittered
   std::unique_ptr<queueing::ErlangMixture> position_;
   queueing::ErlangMixMgf upw_;  ///< D_u * W (or D_u alone if W dropped)
 

@@ -1,0 +1,156 @@
+#include "core/sweep.h"
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+#include "par/thread_pool.h"
+#include "queueing/solver_cache.h"
+
+namespace fpsq::core {
+
+namespace {
+
+/// Points per warm-chained run. Fixed (never derived from the thread
+/// count) so the chain structure — which point seeds which — is the same
+/// at any parallelism, which is what makes the sweep bit-identical.
+constexpr std::size_t kWarmChunk = 8;
+
+}  // namespace
+
+std::vector<RttSweepPoint> sweep_rtt_quantiles(const RttSweepSpec& spec) {
+  FPSQ_SPAN("core.sweep_rtt_quantiles");
+  spec.scenario.validate();
+  const std::size_t n_points = spec.n_values.size();
+  std::vector<RttSweepPoint> out(n_points);
+  if (n_points == 0) return out;
+
+  // Collapse points that quantize to the same solver key: they would
+  // produce (at most ulp-)different results depending on where they land
+  // in a warm chain, so evaluate each distinct value once and copy.
+  std::map<std::int64_t, std::size_t> first_with_key;
+  std::vector<std::size_t> unique_idx;   // index into n_values
+  std::vector<std::size_t> source(n_points);  // out[i] = out-of[source[i]]
+  unique_idx.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const auto key = queueing::SolverCache::quantize(spec.n_values[i]);
+    const auto [it, inserted] =
+        first_with_key.emplace(key, unique_idx.size());
+    if (inserted) unique_idx.push_back(i);
+    source[i] = it->second;  // position in unique list
+  }
+
+  std::vector<RttSweepPoint> unique_out(unique_idx.size());
+  par::global_pool().parallel_for_chunks(
+      unique_idx.size(), kWarmChunk,
+      [&](std::size_t begin, std::size_t end) {
+        // Chain warm starts across the chunk: point i seeds point i+1.
+        // The chunk head solves canonically (and may populate the shared
+        // cache); every later point is a function of the head alone.
+        std::unique_ptr<RttModel> prev;
+        for (std::size_t u = begin; u < end; ++u) {
+          const double n = spec.n_values[unique_idx[u]];
+          const RttModelOptions opts{
+              spec.upstream, spec.use_cache,
+              spec.warm_chaining ? prev.get() : nullptr};
+          auto model = std::make_unique<RttModel>(spec.scenario, n, opts);
+          RttSweepPoint p;
+          p.n_clients = n;
+          p.rho_up = model->rho_up();
+          p.rho_down = model->rho_down();
+          p.rtt_quantile_ms =
+              model->rtt_quantile_ms(spec.epsilon, spec.method);
+          p.rtt_mean_ms = model->rtt_mean_ms();
+          p.downstream_quantile_ms =
+              model->downstream_quantile_ms(spec.epsilon);
+          p.burst_wait_dropped = model->burst_wait_dropped();
+          unique_out[u] = p;
+          prev = std::move(model);
+        }
+      });
+
+  for (std::size_t i = 0; i < n_points; ++i) {
+    out[i] = unique_out[source[i]];
+    out[i].n_clients = spec.n_values[i];
+  }
+  return out;
+}
+
+std::vector<DimensioningCell> dimension_table(
+    const DimensioningTableSpec& spec) {
+  FPSQ_SPAN("core.dimension_table");
+  spec.scenario.validate();
+  const std::size_t n_cells = spec.ks.size() * spec.rtt_bounds_ms.size();
+  std::vector<DimensioningCell> cells(n_cells);
+  if (n_cells == 0) return cells;
+  // One task per cell: a bisection is long enough that finer chunking
+  // buys nothing, and cells share canonical cache entries anyway.
+  par::global_pool().parallel_for(
+      n_cells,
+      [&](std::size_t i) {
+        const std::size_t ki = i / spec.rtt_bounds_ms.size();
+        const std::size_t bi = i % spec.rtt_bounds_ms.size();
+        AccessScenario scenario = spec.scenario;
+        scenario.erlang_k = spec.ks[ki];
+        DimensioningCell cell;
+        cell.erlang_k = spec.ks[ki];
+        cell.rtt_bound_ms = spec.rtt_bounds_ms[bi];
+        cell.result =
+            dimension_for_rtt(scenario, cell.rtt_bound_ms, spec.epsilon,
+                              spec.method, spec.rho_tol);
+        cells[i] = std::move(cell);
+      },
+      /*chunk=*/1);
+  return cells;
+}
+
+std::vector<MultiServerPoint> evaluate_multi_server(
+    const std::vector<std::vector<GameServerSpec>>& configs,
+    double bottleneck_bps, double epsilon,
+    MultiServerDownstreamModel::WaitForm wait_form) {
+  FPSQ_SPAN("core.evaluate_multi_server");
+  std::vector<MultiServerPoint> out(configs.size());
+  par::global_pool().parallel_for(
+      configs.size(),
+      [&](std::size_t i) {
+        const MultiServerDownstreamModel model{configs[i], bottleneck_bps,
+                                               wait_form};
+        MultiServerPoint p;
+        p.rho = model.rho();
+        p.mean_burst_wait_ms = model.mean_burst_wait_ms();
+        p.burst_wait_quantile_ms = model.burst_wait_quantile_ms(epsilon);
+        p.per_server_quantile_ms.reserve(model.server_count());
+        for (std::size_t s = 0; s < model.server_count(); ++s) {
+          p.per_server_quantile_ms.push_back(
+              model.packet_delay_quantile_ms(s, epsilon));
+        }
+        p.mixed_quantile_ms = model.packet_delay_quantile_ms(epsilon);
+        out[i] = std::move(p);
+      },
+      /*chunk=*/1);
+  return out;
+}
+
+std::vector<MixedPopulationPoint> mixed_population_quantiles(
+    const std::vector<std::vector<GamerClass>>& populations,
+    double bottleneck_bps, double epsilon, bool paper_eq14) {
+  FPSQ_SPAN("core.mixed_population_quantiles");
+  std::vector<MixedPopulationPoint> out(populations.size());
+  par::global_pool().parallel_for(
+      populations.size(),
+      [&](std::size_t i) {
+        const MixedUpstreamModel model{populations[i], bottleneck_bps};
+        MixedPopulationPoint p;
+        p.rho = model.rho();
+        p.mean_wait_ms = model.mean_wait_ms();
+        p.wait_quantile_ms = model.wait_quantile_ms(epsilon, paper_eq14);
+        out[i] = p;
+      },
+      /*chunk=*/1);
+  return out;
+}
+
+}  // namespace fpsq::core

@@ -1,0 +1,104 @@
+// Batch drivers for the sweep-shaped analyses: every table and figure of
+// the paper is a grid of independent model evaluations, so all of them
+// parallelize over fpsq::par and share solutions through
+// queueing::SolverCache.
+//
+// Determinism contract (matching par::ThreadPool): each driver returns
+// results in input order and is bit-identical at any thread count.
+// sweep_rtt_quantiles additionally warm-starts the zeta search along
+// runs of adjacent points; to keep that deterministic the points are
+// processed in fixed chunks whose boundaries depend only on the input
+// size, duplicated (quantized-equal) points are collapsed before
+// chunking, and chained solves are never published to the shared cache
+// (see queueing/solver_cache.h).
+#pragma once
+
+#include <vector>
+
+#include "core/dimensioning.h"
+#include "core/mixed_population.h"
+#include "core/multi_server.h"
+#include "core/rtt_model.h"
+#include "core/scenario.h"
+
+namespace fpsq::core {
+
+/// One evaluated load point of an RTT sweep (Figures 3-4 shape).
+struct RttSweepPoint {
+  double n_clients = 0.0;
+  double rho_up = 0.0;
+  double rho_down = 0.0;
+  double rtt_quantile_ms = 0.0;  ///< epsilon-quantile of the full RTT
+  double rtt_mean_ms = 0.0;
+  double downstream_quantile_ms = 0.0;
+  bool burst_wait_dropped = false;
+};
+
+struct RttSweepSpec {
+  AccessScenario scenario;
+  std::vector<double> n_values;  ///< client counts, any order
+  double epsilon = 1e-5;
+  CombinationMethod method = CombinationMethod::kFullInversion;
+  UpstreamVariant upstream = UpstreamVariant::kPaperEq14;
+  bool use_cache = true;      ///< route solvers through SolverCache
+  bool warm_chaining = true;  ///< zeta warm starts along chunk runs
+};
+
+/// Evaluates the RTT model at every n in spec.n_values, in parallel on
+/// the global pool. Results are in spec.n_values order.
+[[nodiscard]] std::vector<RttSweepPoint> sweep_rtt_quantiles(
+    const RttSweepSpec& spec);
+
+/// One cell of the Table-4 dimensioning grid.
+struct DimensioningCell {
+  int erlang_k = 0;
+  double rtt_bound_ms = 0.0;
+  DimensioningResult result;
+};
+
+struct DimensioningTableSpec {
+  AccessScenario scenario;  ///< base; erlang_k is overridden per cell
+  std::vector<int> ks;
+  std::vector<double> rtt_bounds_ms;
+  double epsilon = 1e-5;
+  CombinationMethod method = CombinationMethod::kFullInversion;
+  double rho_tol = 1e-4;
+};
+
+/// Runs dimension_for_rtt over the ks x bounds grid in parallel (one
+/// task per cell; each bisection reuses canonical cache entries). Cells
+/// are returned row-major: for each k, every bound in order.
+[[nodiscard]] std::vector<DimensioningCell> dimension_table(
+    const DimensioningTableSpec& spec);
+
+/// Quantile summary of one multi-server configuration.
+struct MultiServerPoint {
+  double rho = 0.0;
+  double mean_burst_wait_ms = 0.0;
+  double burst_wait_quantile_ms = 0.0;
+  std::vector<double> per_server_quantile_ms;  ///< tagged-packet, per server
+  double mixed_quantile_ms = 0.0;              ///< burst-rate-weighted mix
+};
+
+/// Builds and evaluates one MultiServerDownstreamModel per config, in
+/// parallel (construction dominates: one root find per server class).
+[[nodiscard]] std::vector<MultiServerPoint> evaluate_multi_server(
+    const std::vector<std::vector<GameServerSpec>>& configs,
+    double bottleneck_bps, double epsilon,
+    MultiServerDownstreamModel::WaitForm wait_form =
+        MultiServerDownstreamModel::WaitForm::kAuto);
+
+/// Quantile summary of one mixed-population upstream model.
+struct MixedPopulationPoint {
+  double rho = 0.0;
+  double mean_wait_ms = 0.0;
+  double wait_quantile_ms = 0.0;
+};
+
+/// Builds and evaluates one MixedUpstreamModel per population, in
+/// parallel.
+[[nodiscard]] std::vector<MixedPopulationPoint> mixed_population_quantiles(
+    const std::vector<std::vector<GamerClass>>& populations,
+    double bottleneck_bps, double epsilon, bool paper_eq14 = true);
+
+}  // namespace fpsq::core

@@ -569,6 +569,23 @@ void ensure_baseline_schema() {
   (void)reg.gauge("sim.events_per_sec");
   (void)reg.gauge("sim.heap_high_water");
   (void)reg.gauge("sim.run_wall_s");
+  (void)reg.counter("sim.replications");
+  // Parallel runtime (fpsq::par).
+  (void)reg.gauge("par.pool.threads");
+  (void)reg.counter("par.pool.tasks");
+  (void)reg.counter("par.pool.regions");
+  (void)reg.gauge("par.pool.queue_high_water");
+  (void)reg.gauge("par.pool.busy_s");
+  (void)reg.gauge("par.pool.utilization");
+  // Solver memoization (queueing::SolverCache).
+  (void)reg.counter("queueing.cache.dek1.hits");
+  (void)reg.counter("queueing.cache.dek1.misses");
+  (void)reg.counter("queueing.cache.giek1.hits");
+  (void)reg.counter("queueing.cache.giek1.misses");
+  (void)reg.counter("queueing.cache.md1.hits");
+  (void)reg.counter("queueing.cache.md1.misses");
+  (void)reg.counter("queueing.cache.warm_starts");
+  (void)reg.gauge("queueing.cache.entries");
 }
 
 }  // namespace fpsq::obs

@@ -13,7 +13,8 @@
 
 namespace fpsq::queueing {
 
-DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s)
+DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s,
+                       const std::vector<Complex>* seed_zetas)
     : k_(k), service_s_(mean_service_s), period_s_(period_s) {
   const obs::ScopedSolverContext obs_ctx("queueing.dek1");
   FPSQ_SPAN("dek1.pole_search");
@@ -33,6 +34,11 @@ DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s)
   zetas_.reserve(static_cast<std::size_t>(k_));
   poles_.reserve(static_cast<std::size_t>(k_));
   const double inv_rho = 1.0 / rho_;
+  const bool warm =
+      seed_zetas != nullptr &&
+      seed_zetas->size() == static_cast<std::size_t>(k_);
+  const Complex unit_rot =
+      std::exp(Complex{0.0, 2.0 * M_PI / static_cast<double>(k_)});
   for (int j = 0; j < k_; ++j) {
     const double phase =
         2.0 * M_PI * static_cast<double>(j) / static_cast<double>(k_);
@@ -41,8 +47,18 @@ DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s)
       return rot * std::exp((z - Complex{1.0, 0.0}) * inv_rho);
     };
     auto dF = [inv_rho, &F](Complex z) { return F(z) * inv_rho; };
-    const auto res =
-        math::solve_fixed_point(F, dF, Complex{0.0, 0.0}, 1e-15, 20000);
+    // Seed policy (deterministic in the parameters + optional warm-start
+    // vector): an adjacent point's root j when supplied, else our own
+    // root j-1 rotated one K-th of a turn (the roots lie approximately on
+    // a circle), else the cold start z = 0.
+    Complex z0{0.0, 0.0};
+    if (warm) {
+      z0 = (*seed_zetas)[static_cast<std::size_t>(j)];
+    } else if (j > 0) {
+      z0 = zetas_.back() * unit_rot;
+    }
+    if (!(z0.real() < 1.0)) z0 = Complex{0.0, 0.0};
+    const auto res = math::solve_fixed_point(F, dF, z0, 1e-15, 20000);
     if (!res.converged) {
       throw std::runtime_error("DEk1Solver: zeta iteration did not converge");
     }

@@ -16,7 +16,7 @@ ArrivalTransform deterministic_arrivals(double period_s) {
   }
   // log A(u) = -u T: entire, trivially single-valued.
   return {[period_s](Complex u) { return -u * period_s; }, period_s,
-          "Det"};
+          "Det", {period_s}};
 }
 
 ArrivalTransform gamma_arrivals(double shape, double rate) {
@@ -30,7 +30,7 @@ ArrivalTransform gamma_arrivals(double shape, double rate) {
             return shape * (std::log(rate) -
                             std::log(Complex{rate, 0.0} + u));
           },
-          shape / rate, "Gamma"};
+          shape / rate, "Gamma", {shape, rate}};
 }
 
 ArrivalTransform erlang_arrivals(int m, double rate) {
@@ -51,7 +51,8 @@ ArrivalTransform gamma_arrivals_mean_cov(double mean_s, double cov) {
 }
 
 GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
-                         ArrivalTransform arrivals)
+                         ArrivalTransform arrivals,
+                         const std::vector<Complex>* seed_zetas)
     : k_(k), service_s_(mean_service_s), arrivals_(std::move(arrivals)) {
   const obs::ScopedSolverContext obs_ctx("queueing.giek1");
   FPSQ_SPAN("giek1.pole_search");
@@ -72,6 +73,11 @@ GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
   zetas_.reserve(static_cast<std::size_t>(k_));
   poles_.reserve(static_cast<std::size_t>(k_));
   const double inv_k = 1.0 / static_cast<double>(k_);
+  const bool warm =
+      seed_zetas != nullptr &&
+      seed_zetas->size() == static_cast<std::size_t>(k_);
+  const Complex unit_rot =
+      std::exp(Complex{0.0, 2.0 * M_PI / static_cast<double>(k_)});
   for (int j = 0; j < k_; ++j) {
     const double phase =
         2.0 * M_PI * static_cast<double>(j) / static_cast<double>(k_);
@@ -90,9 +96,14 @@ GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
     // Tolerance note: near saturation (rho -> 1) the real root sits
     // within ~1e-6 of 1 and F(z) - z is evaluated with cancellation, so
     // demanding much below 1e-12 chases rounding noise.
-    const auto res =
-        math::solve_fixed_point(map, dmap, Complex{0.0, 0.0}, 1e-12,
-                                50000);
+    Complex z0{0.0, 0.0};
+    if (warm) {
+      z0 = (*seed_zetas)[static_cast<std::size_t>(j)];
+    } else if (j > 0) {
+      z0 = zetas_.back() * unit_rot;
+    }
+    if (!(std::abs(z0) < 1.0)) z0 = Complex{0.0, 0.0};
+    const auto res = math::solve_fixed_point(map, dmap, z0, 1e-12, 50000);
     if (!res.converged) {
       throw std::runtime_error(
           "GiEk1Solver: zeta iteration did not converge");

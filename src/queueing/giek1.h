@@ -37,6 +37,11 @@ struct ArrivalTransform {
   std::function<Complex(Complex)> log_laplace;
   double mean = 0.0;  ///< E[A] [s]
   std::string name;
+  /// Numeric identity of the transform, for solver-cache keys: together
+  /// with `name`, these values must pin the law exactly (the factories
+  /// below fill them in). Leave empty for a custom transform — the
+  /// solver cache then refuses to memoize it.
+  std::vector<double> key_params;
 };
 
 /// Deterministic ticks: A(u) = e^{-u T} (recovers D/E_K/1).
@@ -58,7 +63,12 @@ class GiEk1Solver {
   /// @param k               Erlang service order (>= 1)
   /// @param mean_service_s  mean burst service time [s]
   /// @param arrivals        interarrival transform; rho = b/E[A] < 1
-  GiEk1Solver(int k, double mean_service_s, ArrivalTransform arrivals);
+  /// @param seed_zetas      optional warm start (see DEk1Solver): an
+  ///                        adjacent point's roots seed the fixed-point
+  ///                        search; without it, root j is seeded from
+  ///                        root j-1 rotated by e^{2 pi i / K}.
+  GiEk1Solver(int k, double mean_service_s, ArrivalTransform arrivals,
+              const std::vector<Complex>* seed_zetas = nullptr);
 
   [[nodiscard]] int k() const noexcept { return k_; }
   [[nodiscard]] double rho() const noexcept { return rho_; }

@@ -1,0 +1,225 @@
+#include "queueing/solver_cache.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fpsq::queueing {
+
+std::int64_t SolverCache::quantize(double v) noexcept {
+  if (v == 0.0) return 0;
+  if (!std::isfinite(v)) return std::signbit(v) ? -1 : 1;
+  // Bit pattern of a finite double, with the bottom 8 mantissa bits
+  // dropped: sign + exponent + top 44 mantissa bits survive, giving a
+  // relative quantum of 2^-44 ~ 6e-14. Monotone in |v| per sign, so
+  // equal-to-that-precision parameters collide and everything else
+  // separates.
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  bits >>= 8;
+  return static_cast<std::int64_t>(bits);
+}
+
+namespace {
+
+using Key = std::vector<std::int64_t>;
+
+template <typename V>
+using CacheMap = std::map<Key, std::shared_ptr<const V>>;
+
+}  // namespace
+
+struct SolverCache::Impl {
+  mutable std::mutex mu;
+  bool enabled = true;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  CacheMap<DEk1Solver> dek1;
+  CacheMap<GiEk1Solver> giek1;
+  CacheMap<MD1Solution> md1;
+
+  [[nodiscard]] std::size_t entries_locked() const {
+    return dek1.size() + giek1.size() + md1.size();
+  }
+
+  void note_entries_locked() {
+    FPSQ_OBS_GAUGE_SET("queueing.cache.entries",
+                       static_cast<double>(entries_locked()));
+  }
+
+  /// Lookup/insert skeleton shared by the three solver kinds: the solve
+  /// itself runs outside the lock; a concurrent miss computes the same
+  /// canonical bits, and the first insert wins (both pointers are
+  /// equivalent, so either may be returned).
+  template <typename V, typename Solve>
+  std::shared_ptr<const V> get(CacheMap<V>& map, const Key& key,
+                               const char* hit_name, const char* miss_name,
+                               const Solve& solve) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (enabled) {
+        const auto it = map.find(key);
+        if (it != map.end()) {
+          ++hits;
+          obs::MetricsRegistry::global().add_counter(hit_name);
+          return it->second;
+        }
+      }
+    }
+    auto value = std::make_shared<const V>(solve());
+    const std::lock_guard<std::mutex> lock(mu);
+    ++misses;
+    obs::MetricsRegistry::global().add_counter(miss_name);
+    if (!enabled) return value;
+    const auto [it, inserted] = map.emplace(key, value);
+    if (inserted) note_entries_locked();
+    return it->second;
+  }
+};
+
+SolverCache::SolverCache() : impl_(new Impl) {}
+SolverCache::~SolverCache() { delete impl_; }
+
+SolverCache& SolverCache::global() {
+  // Leaked for the same shutdown-ordering reason as MetricsRegistry.
+  static SolverCache* cache = new SolverCache;
+  return *cache;
+}
+
+void SolverCache::set_enabled(bool on) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->enabled = on;
+}
+
+bool SolverCache::enabled() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->enabled;
+}
+
+void SolverCache::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->dek1.clear();
+  impl_->giek1.clear();
+  impl_->md1.clear();
+  impl_->note_entries_locked();
+}
+
+SolverCache::Stats SolverCache::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return {impl_->hits, impl_->misses, impl_->entries_locked()};
+}
+
+std::shared_ptr<const DEk1Solver> SolverCache::dek1(int k,
+                                                    double mean_service_s,
+                                                    double period_s) {
+  const Key key{k, quantize(mean_service_s), quantize(period_s)};
+  return impl_->get(
+      impl_->dek1, key, "queueing.cache.dek1.hits",
+      "queueing.cache.dek1.misses", [&] {
+        return DEk1Solver{k, mean_service_s, period_s};
+      });
+}
+
+std::shared_ptr<const DEk1Solver> SolverCache::dek1_chained(
+    int k, double mean_service_s, double period_s,
+    const DEk1Solver* neighbor) {
+  const Key key{k, quantize(mean_service_s), quantize(period_s)};
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->enabled) {
+      const auto it = impl_->dek1.find(key);
+      if (it != impl_->dek1.end()) {
+        ++impl_->hits;
+        FPSQ_OBS_COUNT("queueing.cache.dek1.hits");
+        return it->second;
+      }
+    }
+  }
+  const std::vector<Complex>* seeds =
+      neighbor != nullptr && neighbor->k() == k ? &neighbor->zetas()
+                                                : nullptr;
+  if (seeds != nullptr) FPSQ_OBS_COUNT("queueing.cache.warm_starts");
+  auto value = std::make_shared<const DEk1Solver>(k, mean_service_s,
+                                                  period_s, seeds);
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  ++impl_->misses;
+  FPSQ_OBS_COUNT("queueing.cache.dek1.misses");
+  return value;  // chained solve: never stored (see header)
+}
+
+namespace {
+
+Key giek1_key(int k, double mean_service_s,
+              const ArrivalTransform& arrivals) {
+  Key key{k, SolverCache::quantize(mean_service_s),
+          SolverCache::quantize(arrivals.mean)};
+  for (char c : arrivals.name) key.push_back(c);
+  for (double p : arrivals.key_params) {
+    key.push_back(SolverCache::quantize(p));
+  }
+  return key;
+}
+
+}  // namespace
+
+std::shared_ptr<const GiEk1Solver> SolverCache::giek1(
+    int k, double mean_service_s, const ArrivalTransform& arrivals) {
+  if (arrivals.key_params.empty()) {
+    // No numeric identity: solve fresh, never memoize.
+    return std::make_shared<const GiEk1Solver>(k, mean_service_s,
+                                               arrivals);
+  }
+  const Key key = giek1_key(k, mean_service_s, arrivals);
+  return impl_->get(
+      impl_->giek1, key, "queueing.cache.giek1.hits",
+      "queueing.cache.giek1.misses", [&] {
+        return GiEk1Solver{k, mean_service_s, arrivals};
+      });
+}
+
+std::shared_ptr<const GiEk1Solver> SolverCache::giek1_chained(
+    int k, double mean_service_s, const ArrivalTransform& arrivals,
+    const GiEk1Solver* neighbor) {
+  if (!arrivals.key_params.empty()) {
+    const Key key = giek1_key(k, mean_service_s, arrivals);
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->enabled) {
+      const auto it = impl_->giek1.find(key);
+      if (it != impl_->giek1.end()) {
+        ++impl_->hits;
+        FPSQ_OBS_COUNT("queueing.cache.giek1.hits");
+        return it->second;
+      }
+    }
+  }
+  const std::vector<Complex>* seeds =
+      neighbor != nullptr && neighbor->k() == k ? &neighbor->zetas()
+                                                : nullptr;
+  if (seeds != nullptr) FPSQ_OBS_COUNT("queueing.cache.warm_starts");
+  auto value = std::make_shared<const GiEk1Solver>(k, mean_service_s,
+                                                   arrivals, seeds);
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  ++impl_->misses;
+  FPSQ_OBS_COUNT("queueing.cache.giek1.misses");
+  return value;
+}
+
+std::shared_ptr<const MD1Solution> SolverCache::md1(double lambda,
+                                                    double service_s) {
+  const Key key{quantize(lambda), quantize(service_s)};
+  return impl_->get(
+      impl_->md1, key, "queueing.cache.md1.hits",
+      "queueing.cache.md1.misses", [&] {
+        MD1 queue{lambda, service_s};
+        ErlangMixMgf paper = queue.paper_mgf();
+        ErlangMixMgf asym = queue.asymptotic_mgf();
+        return MD1Solution{std::move(queue), std::move(paper),
+                           std::move(asym)};
+      });
+}
+
+}  // namespace fpsq::queueing

@@ -1,5 +1,6 @@
 #include "sim/event_kernel.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -18,7 +19,8 @@ void Simulator::schedule_at(double when, Handler handler,
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  heap_.push(Event{when, seq_++, std::move(handler), handler_class});
+  heap_.push_back(Event{when, seq_++, std::move(handler), handler_class});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (heap_.size() > heap_high_water_) {
     heap_high_water_ = heap_.size();
   }
@@ -48,10 +50,11 @@ void Simulator::run_until(double t_end) {
   using Clock = std::chrono::steady_clock;
   const auto run_start = Clock::now();
 #endif
-  while (!heap_.empty() && heap_.top().when <= t_end) {
-    // Copy out before pop so the handler may schedule new events.
-    Event ev = heap_.top();
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().when <= t_end) {
+    // Move out before executing so the handler may schedule new events.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     now_ = ev.when;
     ++executed_;
 #ifndef FPSQ_NO_METRICS

@@ -9,9 +9,9 @@
 // timing compiles out under -DFPSQ_NO_METRICS.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -34,6 +34,13 @@ class Simulator {
   /// Schedules `handler` after a delay (>= 0).
   void schedule_in(double delay, Handler handler,
                    const char* handler_class = "event");
+
+  /// Pre-sizes the event heap for roughly `pending_events` concurrently
+  /// scheduled events (a scenario-size hint), so steady-state scheduling
+  /// never reallocates. Cheap to call with any estimate.
+  void reserve_events(std::size_t pending_events) {
+    heap_.reserve(pending_events);
+  }
 
   /// Runs events until the heap empties or the next event is past
   /// `t_end`; the clock is left at the last executed event (or t_end).
@@ -92,7 +99,12 @@ class Simulator {
   };
   ClassSlot& slot_for(const char* cls);
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // A raw vector managed with std::push_heap/pop_heap instead of
+  // std::priority_queue: same ordering (the (when, seq) keys are unique,
+  // so the comparator is total), but it admits reserve() and lets
+  // run_until move the popped event out instead of copying its
+  // std::function.
+  std::vector<Event> heap_;
   std::vector<ClassSlot> class_slots_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;

@@ -78,6 +78,11 @@ GamingScenarioResult run_gaming_scenario(const GamingScenarioConfig& cfg) {
   dist::Rng master{cfg.seed};
   const double tick_s = cfg.tick_ms * 1e-3;
   const auto n = static_cast<std::size_t>(cfg.n_clients);
+  // Pending events scale with the per-client machinery (a tick timer, an
+  // uplink and downlink in flight, bottleneck occupancy, ping state)
+  // plus a few global sources; 8/client is comfortably past the
+  // steady-state high-water mark, so scheduling never reallocates.
+  sim.reserve_events(8 * n + 64);
 
   GamingScenarioResult result;
   result.rho_up = uplink_load(cfg);

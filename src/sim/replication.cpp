@@ -1,0 +1,68 @@
+#include "sim/replication.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "par/thread_pool.h"
+
+namespace fpsq::sim {
+
+std::uint64_t replication_seed(std::uint64_t base_seed,
+                               std::uint64_t replication) {
+  // splitmix64 finalizer over base + (r+1) * golden-ratio increment. The
+  // +1 keeps replication 0 from degenerating to a plain mix of the base
+  // seed (so rep 0 of base s differs from Rng{s} elsewhere).
+  std::uint64_t z = base_seed + (replication + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::vector<GamingScenarioResult> run_replications(
+    const GamingScenarioConfig& base, std::size_t n_reps) {
+  FPSQ_SPAN("sim.run_replications");
+  std::vector<GamingScenarioResult> out(n_reps);
+  par::global_pool().parallel_for(
+      n_reps,
+      [&](std::size_t r) {
+        GamingScenarioConfig cfg = base;
+        cfg.seed = replication_seed(base.seed, r);
+        out[r] = run_gaming_scenario(cfg);
+        FPSQ_OBS_COUNT("sim.replications");
+      },
+      /*chunk=*/1);
+  return out;
+}
+
+ReplicationStats replication_stats(
+    const std::vector<GamingScenarioResult>& replications,
+    const std::function<double(const GamingScenarioResult&)>& metric) {
+  ReplicationStats s;
+  s.count = replications.size();
+  if (s.count == 0) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (const auto& rep : replications) {
+    const double v = metric(rep);
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count < 2) return s;
+  double ss = 0.0;
+  for (const auto& rep : replications) {
+    const double d = metric(rep) - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  s.ci95_half_width =
+      1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  return s;
+}
+
+}  // namespace fpsq::sim

@@ -1,0 +1,47 @@
+// Independent simulation replications, run in parallel on fpsq::par.
+//
+// Seeding is counter-based: replication r of base seed s runs with
+// replication_seed(s, r), a splitmix64-style mix whose output depends
+// only on (s, r) — never on which thread picks the replication up or in
+// what order. Together with run_gaming_scenario being a pure function of
+// its config, that makes the replication vector bit-identical at any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/gaming_scenario.h"
+
+namespace fpsq::sim {
+
+/// The per-replication seed: a deterministic mix of the base seed and
+/// the replication index (splitmix64 finalizer over base + (r+1)*phi).
+/// Distinct (base, r) pairs give well-separated xoshiro seed states.
+[[nodiscard]] std::uint64_t replication_seed(std::uint64_t base_seed,
+                                             std::uint64_t replication);
+
+/// Runs `n_reps` independent copies of `base` (same config, seeds from
+/// replication_seed) in parallel and returns them in replication order.
+[[nodiscard]] std::vector<GamingScenarioResult> run_replications(
+    const GamingScenarioConfig& base, std::size_t n_reps);
+
+/// Across-replication summary of one scalar metric.
+struct ReplicationStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample (n-1) standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  /// Half-width of the normal-approximation 95% confidence interval for
+  /// the mean (1.96 stddev / sqrt(n); 0 when count < 2).
+  double ci95_half_width = 0.0;
+};
+
+/// Reduces a metric (e.g. the p99.9 of true_ping) over replications.
+[[nodiscard]] ReplicationStats replication_stats(
+    const std::vector<GamingScenarioResult>& replications,
+    const std::function<double(const GamingScenarioResult&)>& metric);
+
+}  // namespace fpsq::sim

@@ -1,0 +1,198 @@
+// core sweep drivers — parallel evaluation must be bit-identical to
+// serial, duplicates must collapse, and the grid drivers must agree with
+// their one-at-a-time equivalents.
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "queueing/solver_cache.h"
+
+namespace core = fpsq::core;
+namespace par = fpsq::par;
+
+namespace {
+
+core::AccessScenario paper_scenario(int k = 9) {
+  core::AccessScenario s;
+  s.erlang_k = k;
+  return s;  // defaults are the paper's Section-4 numbers
+}
+
+std::vector<double> load_grid(const core::AccessScenario& s) {
+  std::vector<double> n_values;
+  for (double rho = 0.05; rho < 0.9; rho += 0.05) {
+    n_values.push_back(s.clients_for_downlink_load(rho));
+  }
+  return n_values;
+}
+
+}  // namespace
+
+TEST(SweepRtt, ParallelBitIdenticalToSerial) {
+  core::RttSweepSpec spec;
+  spec.scenario = paper_scenario();
+  spec.n_values = load_grid(spec.scenario);
+
+  par::set_global_thread_count(1);
+  fpsq::queueing::SolverCache::global().clear();
+  const auto serial = core::sweep_rtt_quantiles(spec);
+
+  par::set_global_thread_count(8);
+  fpsq::queueing::SolverCache::global().clear();
+  const auto parallel = core::sweep_rtt_quantiles(spec);
+  par::set_global_thread_count(1);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].rtt_quantile_ms, parallel[i].rtt_quantile_ms)
+        << "point " << i;
+    EXPECT_EQ(serial[i].rtt_mean_ms, parallel[i].rtt_mean_ms);
+    EXPECT_EQ(serial[i].downstream_quantile_ms,
+              parallel[i].downstream_quantile_ms);
+    EXPECT_EQ(serial[i].rho_down, parallel[i].rho_down);
+  }
+}
+
+TEST(SweepRtt, WarmCacheRerunBitIdenticalToColdRun) {
+  core::RttSweepSpec spec;
+  spec.scenario = paper_scenario();
+  spec.n_values = load_grid(spec.scenario);
+  fpsq::queueing::SolverCache::global().clear();
+  const auto cold = core::sweep_rtt_quantiles(spec);
+  const auto warm = core::sweep_rtt_quantiles(spec);  // all-hit rerun
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].rtt_quantile_ms, warm[i].rtt_quantile_ms)
+        << "point " << i;
+  }
+}
+
+TEST(SweepRtt, DuplicatePointsCollapseToOneResult) {
+  core::RttSweepSpec spec;
+  spec.scenario = paper_scenario();
+  const double n = spec.scenario.clients_for_downlink_load(0.5);
+  spec.n_values = {n, n, n + 40.0, n};
+  const auto out = core::sweep_rtt_quantiles(spec);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].rtt_quantile_ms, out[1].rtt_quantile_ms);
+  EXPECT_EQ(out[0].rtt_quantile_ms, out[3].rtt_quantile_ms);
+  EXPECT_NE(out[0].rtt_quantile_ms, out[2].rtt_quantile_ms);
+}
+
+TEST(SweepRtt, MatchesDirectModelWithoutChaining) {
+  // With chaining and caching off, the sweep is just N direct model
+  // constructions — the baseline semantics.
+  core::RttSweepSpec spec;
+  spec.scenario = paper_scenario();
+  spec.n_values = {40.0, 80.0, 120.0};
+  spec.use_cache = false;
+  spec.warm_chaining = false;
+  const auto out = core::sweep_rtt_quantiles(spec);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const core::RttModelOptions opts{core::UpstreamVariant::kPaperEq14,
+                                     false, nullptr};
+    const core::RttModel direct{spec.scenario, spec.n_values[i], opts};
+    EXPECT_EQ(out[i].rtt_quantile_ms, direct.rtt_quantile_ms(spec.epsilon));
+  }
+}
+
+TEST(SweepRtt, JitteredScenarioSweeps) {
+  core::RttSweepSpec spec;
+  spec.scenario = paper_scenario();
+  spec.scenario.tick_jitter_cov = 0.07;  // the paper's UT2003 measurement
+  // rho_down = n/200 with the default scenario: stay below stability.
+  spec.n_values = {30.0, 50.0, 70.0, 90.0, 110.0, 130.0, 150.0, 160.0,
+                   170.0, 180.0};
+  par::set_global_thread_count(1);
+  const auto serial = core::sweep_rtt_quantiles(spec);
+  par::set_global_thread_count(6);
+  const auto parallel = core::sweep_rtt_quantiles(spec);
+  par::set_global_thread_count(1);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].rtt_quantile_ms, parallel[i].rtt_quantile_ms)
+        << "point " << i;
+    EXPECT_GT(serial[i].rtt_quantile_ms, 0.0);
+  }
+}
+
+TEST(DimensionTable, ParallelGridMatchesSerialCalls) {
+  core::DimensioningTableSpec spec;
+  spec.scenario = paper_scenario();
+  spec.ks = {2, 9};
+  spec.rtt_bounds_ms = {50.0, 100.0};
+  spec.rho_tol = 1e-3;  // keep the test quick
+
+  par::set_global_thread_count(4);
+  const auto cells = core::dimension_table(spec);
+  par::set_global_thread_count(1);
+  ASSERT_EQ(cells.size(), 4u);
+
+  std::size_t i = 0;
+  for (const int k : spec.ks) {
+    for (const double bound : spec.rtt_bounds_ms) {
+      EXPECT_EQ(cells[i].erlang_k, k);
+      EXPECT_EQ(cells[i].rtt_bound_ms, bound);
+      core::AccessScenario s = spec.scenario;
+      s.erlang_k = k;
+      const auto direct = core::dimension_for_rtt(
+          s, bound, spec.epsilon, spec.method, spec.rho_tol);
+      EXPECT_EQ(cells[i].result.rho_max, direct.rho_max) << "cell " << i;
+      EXPECT_EQ(cells[i].result.n_max_int, direct.n_max_int);
+      EXPECT_EQ(cells[i].result.rtt_at_max_ms, direct.rtt_at_max_ms);
+      ++i;
+    }
+  }
+  // More gamers fit under a looser bound and a larger K (Table 4's trend).
+  EXPECT_LT(cells[0].result.n_max_int, cells[1].result.n_max_int);
+  EXPECT_LT(cells[0].result.n_max_int, cells[2].result.n_max_int);
+}
+
+TEST(MultiServer, ParallelConfigsMatchDirectModels) {
+  std::vector<std::vector<core::GameServerSpec>> configs;
+  for (int m = 1; m <= 4; ++m) {
+    configs.emplace_back(static_cast<std::size_t>(m),
+                         core::GameServerSpec{});
+  }
+  const double capacity = 30e6;
+  par::set_global_thread_count(4);
+  const auto points =
+      core::evaluate_multi_server(configs, capacity, 1e-4);
+  par::set_global_thread_count(1);
+  ASSERT_EQ(points.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const core::MultiServerDownstreamModel direct{configs[i], capacity};
+    EXPECT_EQ(points[i].rho, direct.rho());
+    EXPECT_EQ(points[i].burst_wait_quantile_ms,
+              direct.burst_wait_quantile_ms(1e-4));
+    ASSERT_EQ(points[i].per_server_quantile_ms.size(), configs[i].size());
+    EXPECT_EQ(points[i].per_server_quantile_ms[0],
+              direct.packet_delay_quantile_ms(0, 1e-4));
+  }
+  // Load grows with the number of multiplexed servers.
+  EXPECT_LT(points[0].rho, points[3].rho);
+}
+
+TEST(MixedPopulation, ParallelPopulationsMatchDirectModels) {
+  std::vector<std::vector<core::GamerClass>> populations;
+  for (double n = 20.0; n <= 80.0; n += 20.0) {
+    populations.push_back({core::GamerClass{n, 80.0, 40.0},
+                           core::GamerClass{0.5 * n, 200.0, 50.0}});
+  }
+  const double capacity = 5e6;
+  par::set_global_thread_count(4);
+  const auto points =
+      core::mixed_population_quantiles(populations, capacity, 1e-5);
+  par::set_global_thread_count(1);
+  ASSERT_EQ(points.size(), populations.size());
+  for (std::size_t i = 0; i < populations.size(); ++i) {
+    const core::MixedUpstreamModel direct{populations[i], capacity};
+    EXPECT_EQ(points[i].rho, direct.rho());
+    EXPECT_EQ(points[i].wait_quantile_ms,
+              direct.wait_quantile_ms(1e-5, true));
+    EXPECT_EQ(points[i].mean_wait_ms, direct.mean_wait_ms());
+  }
+  EXPECT_LT(points[0].rho, points[3].rho);
+}

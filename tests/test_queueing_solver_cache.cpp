@@ -1,0 +1,175 @@
+// queueing::SolverCache — hits must be bit-identical to cold solves
+// (including the degenerate collapsed-pole regime), chained solves must
+// converge to the same roots without being stored, and the key
+// quantization must separate meaningfully different parameters.
+#include "queueing/solver_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "queueing/dek1.h"
+#include "queueing/giek1.h"
+#include "queueing/mg1.h"
+
+namespace queueing = fpsq::queueing;
+using queueing::Complex;
+using queueing::SolverCache;
+
+namespace {
+
+void expect_bitwise_equal(const queueing::DEk1Solver& a,
+                          const queueing::DEk1Solver& b) {
+  ASSERT_EQ(a.k(), b.k());
+  ASSERT_EQ(a.zetas().size(), b.zetas().size());
+  for (std::size_t j = 0; j < a.zetas().size(); ++j) {
+    EXPECT_EQ(a.zetas()[j], b.zetas()[j]) << "zeta " << j;
+    EXPECT_EQ(a.poles()[j], b.poles()[j]) << "pole " << j;
+    EXPECT_EQ(a.weights()[j], b.weights()[j]) << "weight " << j;
+  }
+  EXPECT_EQ(a.p_wait_zero(), b.p_wait_zero());
+  EXPECT_EQ(a.degenerate(), b.degenerate());
+}
+
+}  // namespace
+
+TEST(SolverCacheQuantize, SeparatesAndCollides) {
+  EXPECT_EQ(SolverCache::quantize(0.0), 0);
+  EXPECT_EQ(SolverCache::quantize(1.0), SolverCache::quantize(1.0));
+  // Within the 2^-44 relative quantum: same key.
+  EXPECT_EQ(SolverCache::quantize(1.0),
+            SolverCache::quantize(1.0 + 1e-15));
+  // Meaningful differences separate.
+  EXPECT_NE(SolverCache::quantize(1.0), SolverCache::quantize(1.0 + 1e-9));
+  EXPECT_NE(SolverCache::quantize(1.0), SolverCache::quantize(-1.0));
+  EXPECT_NE(SolverCache::quantize(1.0), SolverCache::quantize(2.0));
+}
+
+TEST(SolverCache, Dek1HitIsBitIdenticalToColdSolve) {
+  SolverCache cache;
+  const int k = 9;
+  const double b = 0.018, t = 0.040;
+  const queueing::DEk1Solver cold{k, b, t};  // no cache involved
+  const auto first = cache.dek1(k, b, t);    // miss -> canonical solve
+  const auto second = cache.dek1(k, b, t);   // hit
+  EXPECT_EQ(first.get(), second.get());      // same shared entry
+  expect_bitwise_equal(cold, *first);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(SolverCache, Dek1DegenerateRegimeCachesIdentically) {
+  // Very low load: poles collapse onto beta and the solver degenerates
+  // to a point mass. The cached entry must reproduce that exactly.
+  SolverCache cache;
+  const int k = 9;
+  const double b = 0.0004, t = 0.040;  // rho = 0.01
+  const queueing::DEk1Solver cold{k, b, t};
+  ASSERT_TRUE(cold.degenerate());
+  const auto cached = cache.dek1(k, b, t);
+  const auto hit = cache.dek1(k, b, t);
+  EXPECT_EQ(cached.get(), hit.get());
+  expect_bitwise_equal(cold, *hit);
+  EXPECT_EQ(cold.wait_quantile(1e-5), hit->wait_quantile(1e-5));
+}
+
+TEST(SolverCache, ChainedSolveMatchesRootsButIsNotStored) {
+  SolverCache cache;
+  const int k = 9;
+  const double t = 0.040;
+  const auto anchor = cache.dek1(k, 0.018, t);
+  ASSERT_EQ(cache.stats().entries, 1u);
+  // Adjacent point, warm-started from the anchor's roots.
+  const auto chained = cache.dek1_chained(k, 0.0185, t, anchor.get());
+  EXPECT_EQ(cache.stats().entries, 1u) << "chained solve must not store";
+  // Roots agree with a cold solve to fixed-point tolerance.
+  const queueing::DEk1Solver cold{k, 0.0185, t};
+  for (std::size_t j = 0; j < cold.zetas().size(); ++j) {
+    EXPECT_NEAR(std::abs(chained->zetas()[j] - cold.zetas()[j]), 0.0,
+                1e-12)
+        << "zeta " << j;
+  }
+  EXPECT_NEAR(chained->wait_quantile(1e-5), cold.wait_quantile(1e-5),
+              1e-12);
+  // A chained request whose key IS cached returns the canonical entry.
+  const auto canon = cache.dek1_chained(k, 0.018, t, chained.get());
+  EXPECT_EQ(canon.get(), anchor.get());
+}
+
+TEST(SolverCache, Giek1FactoriesMemoizeCustomTransformsDoNot) {
+  SolverCache cache;
+  const auto arrivals = queueing::gamma_arrivals_mean_cov(0.040, 0.07);
+  const auto a = cache.giek1(9, 0.018, arrivals);
+  const auto b = cache.giek1(9, 0.018, arrivals);
+  EXPECT_EQ(a.get(), b.get());
+  const queueing::GiEk1Solver cold{9, 0.018, arrivals};
+  for (std::size_t j = 0; j < cold.zetas().size(); ++j) {
+    EXPECT_EQ(a->zetas()[j], cold.zetas()[j]);
+    EXPECT_EQ(a->weights()[j], cold.weights()[j]);
+  }
+  // A custom transform (no key_params) is never memoized.
+  queueing::ArrivalTransform custom = arrivals;
+  custom.key_params.clear();
+  const auto c1 = cache.giek1(9, 0.018, custom);
+  const auto c2 = cache.giek1(9, 0.018, custom);
+  EXPECT_NE(c1.get(), c2.get());
+  EXPECT_EQ(c1->wait_quantile(1e-5), c2->wait_quantile(1e-5));
+}
+
+TEST(SolverCache, Md1SolutionMatchesFreshQueue) {
+  SolverCache cache;
+  const double lambda = 1500.0, service = 1.28e-4;
+  const auto sol = cache.md1(lambda, service);
+  const queueing::MD1 fresh{lambda, service};
+  EXPECT_EQ(sol->queue.rho(), fresh.rho());
+  const auto paper = fresh.paper_mgf();
+  const auto asym = fresh.asymptotic_mgf();
+  EXPECT_EQ(sol->paper.quantile(1e-5), paper.quantile(1e-5));
+  EXPECT_EQ(sol->asymptotic.quantile(1e-5), asym.quantile(1e-5));
+  EXPECT_EQ(cache.md1(lambda, service).get(), sol.get());
+}
+
+TEST(SolverCache, DisabledCacheSolvesFreshAndStoresNothing) {
+  SolverCache cache;
+  cache.set_enabled(false);
+  const auto a = cache.dek1(9, 0.018, 0.040);
+  const auto b = cache.dek1(9, 0.018, 0.040);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  expect_bitwise_equal(*a, *b);  // still canonical, still deterministic
+  cache.set_enabled(true);
+  const auto c = cache.dek1(9, 0.018, 0.040);
+  expect_bitwise_equal(*a, *c);
+}
+
+TEST(SolverCache, ClearDropsEntries) {
+  SolverCache cache;
+  (void)cache.dek1(9, 0.018, 0.040);
+  (void)cache.md1(1500.0, 1.28e-4);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  (void)cache.dek1(9, 0.018, 0.040);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(SolverCache, WarmStartedConstructorReachesSameRoots) {
+  // Direct solver-level check: seeding from adjacent roots changes the
+  // iteration count, never the destination.
+  const int k = 14;
+  const queueing::DEk1Solver a{k, 0.020, 0.040};
+  const queueing::DEk1Solver b_cold{k, 0.021, 0.040};
+  const queueing::DEk1Solver b_warm{k, 0.021, 0.040, &a.zetas()};
+  for (int j = 0; j < k; ++j) {
+    EXPECT_NEAR(std::abs(b_warm.zetas()[static_cast<std::size_t>(j)] -
+                         b_cold.zetas()[static_cast<std::size_t>(j)]),
+                0.0, 1e-12)
+        << "zeta " << j;
+  }
+  EXPECT_NEAR(b_warm.wait_quantile(1e-5), b_cold.wait_quantile(1e-5),
+              1e-12);
+}

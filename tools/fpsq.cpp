@@ -21,10 +21,14 @@
 #include "core/dimensioning.h"
 #include "core/report.h"
 #include "core/rtt_model.h"
+#include "core/sweep.h"
 #include "core/validation.h"
 #include "dist/fitting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
+#include "queueing/solver_cache.h"
+#include "sim/replication.h"
 #include "sim/trace_replay.h"
 #include "trace/analyzer.h"
 #include "trace/pcap.h"
@@ -65,9 +69,40 @@ class Args {
     return values_.count(key) > 0;
   }
 
+  /// Comma-separated list flag ("--ks 2,9,20"); empty when absent.
+  [[nodiscard]] std::vector<double> numbers(const std::string& key) const {
+    std::vector<double> out;
+    const auto it = values_.find(key);
+    if (it == values_.end()) return out;
+    const std::string& text = it->second;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t comma = text.find(',', pos);
+      if (comma == std::string::npos) comma = text.size();
+      out.push_back(std::atof(text.substr(pos, comma - pos).c_str()));
+      pos = comma + 1;
+    }
+    return out;
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Applies the global execution flags shared by every command:
+///   --threads N   worker count (default: FPSQ_THREADS env, else cores)
+///   --cache 0|1   solver memoization (default on)
+void apply_execution_flags(const Args& args) {
+  if (args.has("threads")) {
+    const double t = args.number("threads", 0.0);
+    if (t < 1.0) {
+      throw std::invalid_argument("--threads must be >= 1");
+    }
+    par::set_global_thread_count(static_cast<unsigned>(t));
+  }
+  queueing::SolverCache::global().set_enabled(
+      args.number("cache", 1.0) != 0.0);
+}
 
 core::AccessScenario scenario_from(const Args& args) {
   core::AccessScenario s;
@@ -113,8 +148,30 @@ int cmd_rtt(const Args& args) {
 
 int cmd_dimension(const Args& args) {
   const auto s = scenario_from(args);
-  const double bound = args.number("bound", 50.0);
   const double eps = args.number("eps", 1e-5);
+  if (args.has("ks") || args.has("bounds")) {
+    // Table-4 grid mode: every (K, bound) cell, in parallel.
+    core::DimensioningTableSpec spec;
+    spec.scenario = s;
+    for (const double k : args.numbers("ks")) {
+      spec.ks.push_back(static_cast<int>(k));
+    }
+    if (spec.ks.empty()) spec.ks.push_back(s.erlang_k);
+    spec.rtt_bounds_ms = args.numbers("bounds");
+    if (spec.rtt_bounds_ms.empty()) {
+      spec.rtt_bounds_ms.push_back(args.number("bound", 50.0));
+    }
+    spec.epsilon = eps;
+    print_scenario(s);
+    std::printf("k,bound_ms,max_load,max_gamers,rtt_at_max_ms\n");
+    for (const auto& cell : core::dimension_table(spec)) {
+      std::printf("%d,%.0f,%.4f,%d,%.2f\n", cell.erlang_k,
+                  cell.rtt_bound_ms, cell.result.rho_max,
+                  cell.result.n_max_int, cell.result.rtt_at_max_ms);
+    }
+    return 0;
+  }
+  const double bound = args.number("bound", 50.0);
   const auto d = core::dimension_for_rtt(s, bound, eps);
   print_scenario(s);
   std::printf("RTT(%g) <= %.0f ms:  max load %.1f%%  max gamers %d  "
@@ -125,16 +182,23 @@ int cmd_dimension(const Args& args) {
 
 int cmd_sweep(const Args& args) {
   const auto s = scenario_from(args);
-  const double eps = args.number("eps", 1e-5);
+  core::RttSweepSpec spec;
+  spec.scenario = s;
+  spec.epsilon = args.number("eps", 1e-5);
   const double step = args.number("step", 0.05);
-  print_scenario(s);
-  std::printf("load,gamers,rtt_quantile_ms,rtt_mean_ms\n");
+  std::vector<double> loads;
   for (double rho = step; rho < 0.95; rho += step) {
     const double n = s.clients_for_downlink_load(rho);
     if (s.uplink_load(n) >= 0.999) break;
-    const core::RttModel m{s, n};
-    std::printf("%.3f,%.1f,%.2f,%.2f\n", rho, n, m.rtt_quantile_ms(eps),
-                m.rtt_mean_ms());
+    loads.push_back(rho);
+    spec.n_values.push_back(n);
+  }
+  const auto points = core::sweep_rtt_quantiles(spec);
+  print_scenario(s);
+  std::printf("load,gamers,rtt_quantile_ms,rtt_mean_ms\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::printf("%.3f,%.1f,%.2f,%.2f\n", loads[i], points[i].n_clients,
+                points[i].rtt_quantile_ms, points[i].rtt_mean_ms);
   }
   return 0;
 }
@@ -314,6 +378,51 @@ int cmd_validate(const Args& args) {
   const int n = std::max(
       1, static_cast<int>(s.clients_for_downlink_load(rho)));
   print_scenario(s);
+  const auto reps = static_cast<std::size_t>(args.number("reps", 1.0));
+  if (reps > 1) {
+    // Independent replications in parallel (counter-based seeds), with
+    // across-replication spread for the simulated quantiles.
+    sim::GamingScenarioConfig cfg;
+    cfg.n_clients = n;
+    cfg.tick_ms = s.tick_ms;
+    cfg.client_packet_bytes = s.client_packet_bytes;
+    cfg.server_packet_bytes = s.server_packet_bytes;
+    cfg.erlang_k = s.erlang_k;
+    cfg.tick_jitter_cov = s.tick_jitter_cov;
+    cfg.uplink_bps = s.uplink_bps;
+    cfg.downlink_bps = s.downlink_bps;
+    cfg.bottleneck_bps = s.bottleneck_bps;
+    cfg.duration_s = opt.duration_s;
+    cfg.warmup_s = opt.warmup_s;
+    cfg.seed = opt.seed;
+    const double prob = opt.quantile_prob;
+    const auto results = sim::run_replications(cfg, reps);
+    std::printf("load %.2f (N = %d), %zu x %.1f s simulated, "
+                "quantile %.4f\n",
+                rho, n, reps, opt.duration_s, prob);
+    auto report = [&](const char* name, auto tap_of) {
+      const auto stats = sim::replication_stats(
+          results, [&](const sim::GamingScenarioResult& r) {
+            return tap_of(r).exact_quantile(prob) * 1e3;
+          });
+      std::printf("%-28s %10.3f +- %.3f ms  (min %.3f, max %.3f)\n",
+                  name, stats.mean, stats.ci95_half_width, stats.min,
+                  stats.max);
+    };
+    report("upstream wait [ms]", [](const sim::GamingScenarioResult& r)
+                                     -> const sim::DelayTap& {
+      return r.upstream_wait;
+    });
+    report("downstream delay [ms]",
+           [](const sim::GamingScenarioResult& r) -> const sim::DelayTap& {
+             return r.downstream_total;
+           });
+    report("model-RTT [ms]", [](const sim::GamingScenarioResult& r)
+                                 -> const sim::DelayTap& {
+      return r.model_rtt;
+    });
+    return 0;
+  }
   const auto p = core::validate_point(s, n, opt);
   std::printf("load %.2f (N = %d), %.1f s simulated, quantile %.4f\n",
               p.rho_down, p.n_clients, opt.duration_s, opt.quantile_prob);
@@ -335,11 +444,14 @@ int cmd_help(const std::string& topic) {
   } else if (topic == "dimension") {
     std::printf(
         "fpsq dimension --bound MS [--eps 1e-5] [scenario flags]\n"
-        "  largest load / gamer count meeting the RTT bound\n");
+        "  largest load / gamer count meeting the RTT bound\n"
+        "  grid mode (Table-4 style, parallel): --ks 2,9,20"
+        " --bounds 50,100\n");
   } else if (topic == "sweep") {
     std::printf(
         "fpsq sweep [--step 0.05] [--eps 1e-5] [scenario flags]\n"
-        "  CSV of RTT quantiles vs load (Figure-3 style)\n");
+        "  CSV of RTT quantiles vs load (Figure-3 style), evaluated in\n"
+        "  parallel on --threads workers\n");
   } else if (topic == "generate") {
     std::printf(
         "fpsq generate --game cs|halflife|quake3|halo|ut\n"
@@ -361,8 +473,10 @@ int cmd_help(const std::string& topic) {
   } else if (topic == "validate") {
     std::printf(
         "fpsq validate [--load 0.5] [--duration 120] [--prob 0.999]\n"
-        "              [--seed 1] [scenario flags]\n"
-        "  analytic model vs packet-level simulation\n");
+        "              [--seed 1] [--reps 1] [scenario flags]\n"
+        "  analytic model vs packet-level simulation; --reps R > 1 runs\n"
+        "  R independent replications in parallel and reports the\n"
+        "  across-replication spread\n");
   } else if (topic == "profile") {
     std::printf(
         "fpsq profile [--gamers 60] [--duration 10] [--seed 1]\n"
@@ -386,6 +500,10 @@ int cmd_help(const std::string& topic) {
         "  --proc 0       server processing [ms]\n"
         "  --jitter 0     server tick CoV (0 = paper's Det ticks;\n"
         "                 > 0 uses the exact GI/E_K/1 model)\n\n"
+        "execution flags (every command):\n"
+        "  --threads N          worker threads for sweeps/grids/reps\n"
+        "                       (default: FPSQ_THREADS env, else cores)\n"
+        "  --cache 0|1          solver memoization (default 1)\n\n"
         "observability flags (every command):\n"
         "  --metrics-out FILE   write solver/simulator metrics JSON\n"
         "  --trace-out FILE     record spans, write Chrome trace JSON\n\n"
@@ -445,6 +563,7 @@ int main(int argc, char** argv) {
       return cmd_help(argc > 2 ? argv[2] : "");
     }
     const Args args{argc, argv, 2};
+    apply_execution_flags(args);
     if (args.has("trace-out")) {
       obs::TraceRecorder::global().set_enabled(true);
     }
