@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace fpsq::core {
 
@@ -9,19 +10,45 @@ DimensioningResult dimension_for_rtt(const AccessScenario& scenario,
                                      double rtt_bound_ms, double epsilon,
                                      CombinationMethod method,
                                      double rho_tol) {
-  scenario.validate();
+  return dimension_for_rtt_checked(scenario, rtt_bound_ms, epsilon, method,
+                                   rho_tol)
+      .take_or_throw();
+}
+
+err::Result<DimensioningResult> dimension_for_rtt_checked(
+    const AccessScenario& scenario, double rtt_bound_ms, double epsilon,
+    CombinationMethod method, double rho_tol) {
+  try {
+    scenario.validate();
+  } catch (const std::exception& ex) {
+    return err::SolverError{err::SolverErrorCode::kBadParameters,
+                            ex.what()};
+  }
   if (!(rtt_bound_ms > 0.0) || !(epsilon > 0.0 && epsilon < 1.0)) {
-    throw std::invalid_argument("dimension_for_rtt: bad bound or epsilon");
+    return err::SolverError{err::SolverErrorCode::kBadParameters,
+                            "dimension_for_rtt: bad bound or epsilon"};
   }
   if (scenario.deterministic_rtt_ms() >= rtt_bound_ms) {
     // Even an unloaded network misses the bound.
-    return {0.0, 0.0, 0, scenario.deterministic_rtt_ms()};
+    return DimensioningResult{0.0, 0.0, 0,
+                              scenario.deterministic_rtt_ms()};
   }
 
-  auto rtt_at_load = [&](double rho) {
+  auto rtt_at_load = [&](double rho) -> err::Result<double> {
     const double n = scenario.clients_for_downlink_load(rho);
-    const RttModel model{scenario, n};
-    return model.rtt_quantile_ms(epsilon, method);
+    auto model = RttModel::create(scenario, n);
+    if (!model.ok()) return model.error();
+    try {
+      return model.value().rtt_quantile_ms(epsilon, method);
+    } catch (const std::exception& ex) {
+      // Quantile evaluation (convolution bracket/bisection) failed after
+      // a successful solve.
+      const err::SolverError e{
+          err::SolverErrorCode::kNonConvergence,
+          std::string("dimension_for_rtt quantile: ") + ex.what()};
+      err::record_failure(e);
+      return e;
+    }
   };
 
   // Stability ceiling: both directions must stay below load 1.
@@ -31,29 +58,41 @@ DimensioningResult dimension_for_rtt(const AccessScenario& scenario,
 
   double lo = 0.0;   // feasible
   double hi = rho_ceil;
-  const double rtt_at_hi = rtt_at_load(hi);
+  const auto probe_hi = rtt_at_load(hi);
+  if (!probe_hi.ok()) return probe_hi.error();
+  const double rtt_at_hi = probe_hi.value();
   if (rtt_at_hi <= rtt_bound_ms) {
     // Bound never binds before instability.
     const double n = scenario.clients_for_downlink_load(hi);
-    return {hi, n, static_cast<int>(std::floor(n)), rtt_at_hi};
+    return DimensioningResult{hi, n, static_cast<int>(std::floor(n)),
+                              rtt_at_hi};
   }
   // Ensure a feasible toe-hold exists above zero. Carry the RTT at the
   // feasible end through the whole search: every probe is evaluated
   // exactly once (the seed re-solved the final `lo` and the early-return
   // `hi` a second time, each a full zeta root search).
   double probe = std::min(0.01, 0.5 * rho_ceil);
-  double rtt_at_lo = rtt_at_load(probe);
+  auto probed = rtt_at_load(probe);
+  if (!probed.ok()) return probed.error();
+  double rtt_at_lo = probed.value();
   while (probe > 1e-9 && rtt_at_lo > rtt_bound_ms) {
     probe *= 0.5;
-    if (probe > 1e-9) rtt_at_lo = rtt_at_load(probe);
+    if (probe > 1e-9) {
+      probed = rtt_at_load(probe);
+      if (!probed.ok()) return probed.error();
+      rtt_at_lo = probed.value();
+    }
   }
   if (probe <= 1e-9) {
-    return {0.0, 0.0, 0, scenario.deterministic_rtt_ms()};
+    return DimensioningResult{0.0, 0.0, 0,
+                              scenario.deterministic_rtt_ms()};
   }
   lo = probe;
   while (hi - lo > rho_tol) {
     const double mid = 0.5 * (lo + hi);
-    const double rtt_at_mid = rtt_at_load(mid);
+    const auto probe_mid = rtt_at_load(mid);
+    if (!probe_mid.ok()) return probe_mid.error();
+    const double rtt_at_mid = probe_mid.value();
     if (rtt_at_mid <= rtt_bound_ms) {
       lo = mid;
       rtt_at_lo = rtt_at_mid;

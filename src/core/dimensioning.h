@@ -4,6 +4,7 @@
 #pragma once
 
 #include "core/rtt_model.h"
+#include "err/error.h"
 
 namespace fpsq::core {
 
@@ -20,7 +21,18 @@ struct DimensioningResult {
 ///
 /// @param epsilon        tail probability (paper: 1e-5)
 /// @param rtt_bound_ms   e.g. 50 ms = "excellent game play" per [11]
+/// @throws std::invalid_argument / err::SolverFailure — thin wrapper over
+///         dimension_for_rtt_checked()
 [[nodiscard]] DimensioningResult dimension_for_rtt(
+    const AccessScenario& scenario, double rtt_bound_ms,
+    double epsilon = 1e-5,
+    CombinationMethod method = CombinationMethod::kFullInversion,
+    double rho_tol = 1e-4);
+
+/// Non-throwing variant: any solver failure at any probed load surfaces
+/// as the structured error instead of unwinding through the bisection
+/// (used by dimension_table to flag a cell without aborting the grid).
+[[nodiscard]] err::Result<DimensioningResult> dimension_for_rtt_checked(
     const AccessScenario& scenario, double rtt_bound_ms,
     double epsilon = 1e-5,
     CombinationMethod method = CombinationMethod::kFullInversion,

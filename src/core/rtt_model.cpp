@@ -37,6 +37,16 @@ Complex decollide(Complex pole, const ErlangMixMgf& reference) {
 
 }  // namespace
 
+err::Result<RttModel> RttModel::create(const AccessScenario& scenario,
+                                       double n_clients,
+                                       const RttModelOptions& options) {
+  RttModel model;
+  if (auto e = model.init(scenario, n_clients, options)) {
+    return *std::move(e);
+  }
+  return model;
+}
+
 RttModel::RttModel(const AccessScenario& scenario, double n_clients,
                    UpstreamVariant upstream)
     : RttModel(scenario, n_clients,
@@ -44,20 +54,42 @@ RttModel::RttModel(const AccessScenario& scenario, double n_clients,
                                /*warm_neighbor=*/nullptr}) {}
 
 RttModel::RttModel(const AccessScenario& scenario, double n_clients,
-                   const RttModelOptions& options)
-    : scenario_(scenario), n_(n_clients) {
-  scenario_.validate();
+                   const RttModelOptions& options) {
+  if (auto e = init(scenario, n_clients, options)) {
+    err::throw_solver_error(*e);
+  }
+}
+
+std::optional<err::SolverError> RttModel::init(
+    const AccessScenario& scenario, double n_clients,
+    const RttModelOptions& options) {
+  scenario_ = scenario;
+  n_ = n_clients;
+  // Own validation failures are recorded here; errors propagated from the
+  // solver factories were already counted at their origin.
+  const auto fail = [](err::SolverErrorCode code, std::string detail) {
+    err::SolverError e{code, std::move(detail)};
+    err::record_failure(e);
+    return e;
+  };
+  try {
+    scenario_.validate();
+  } catch (const std::exception& ex) {
+    return fail(err::SolverErrorCode::kBadParameters, ex.what());
+  }
   if (!(n_clients > 0.0)) {
-    throw std::invalid_argument("RttModel: n_clients must be positive");
+    return fail(err::SolverErrorCode::kBadParameters,
+                "RttModel: n_clients must be positive");
   }
   if (scenario_.erlang_k < 2) {
-    throw std::invalid_argument(
-        "RttModel: the combined model needs K >= 2 (eq. 34)");
+    return fail(err::SolverErrorCode::kBadParameters,
+                "RttModel: the combined model needs K >= 2 (eq. 34)");
   }
   rho_up_ = scenario_.uplink_load(n_);
   rho_down_ = scenario_.downlink_load(n_);
   if (!(rho_up_ < 1.0) || !(rho_down_ < 1.0)) {
-    throw std::invalid_argument("RttModel: unstable load (rho >= 1)");
+    return fail(err::SolverErrorCode::kUnstable,
+                "RttModel: unstable load (rho >= 1)");
   }
 
   const double tick_s = scenario_.tick_ms * 1e-3;
@@ -78,15 +110,21 @@ RttModel::RttModel(const AccessScenario& scenario, double n_clients,
                   options.warm_neighbor->jittered_ != nullptr
               ? options.warm_neighbor->jittered_.get()
               : nullptr;
-      jittered_ = seed != nullptr
-                      ? cache.giek1_chained(scenario_.erlang_k,
-                                            mean_burst_service_s,
-                                            arrivals, seed)
-                      : cache.giek1(scenario_.erlang_k,
-                                    mean_burst_service_s, arrivals);
+      auto solved =
+          seed != nullptr
+              ? cache.giek1_chained_result(scenario_.erlang_k,
+                                           mean_burst_service_s, arrivals,
+                                           seed)
+              : cache.giek1_result(scenario_.erlang_k,
+                                   mean_burst_service_s, arrivals);
+      if (!solved.ok()) return solved.error();
+      jittered_ = std::move(solved).take_or_throw();
     } else {
-      jittered_ = std::make_shared<const queueing::GiEk1Solver>(
+      auto solved = queueing::GiEk1Solver::create(
           scenario_.erlang_k, mean_burst_service_s, std::move(arrivals));
+      if (!solved.ok()) return solved.error();
+      jittered_ = std::make_shared<const queueing::GiEk1Solver>(
+          std::move(solved).take_or_throw());
     }
   } else {
     if (options.use_cache) {
@@ -95,15 +133,21 @@ RttModel::RttModel(const AccessScenario& scenario, double n_clients,
                   options.warm_neighbor->downstream_ != nullptr
               ? options.warm_neighbor->downstream_.get()
               : nullptr;
-      downstream_ =
+      auto solved =
           seed != nullptr
-              ? cache.dek1_chained(scenario_.erlang_k,
-                                   mean_burst_service_s, tick_s, seed)
-              : cache.dek1(scenario_.erlang_k, mean_burst_service_s,
-                           tick_s);
+              ? cache.dek1_chained_result(scenario_.erlang_k,
+                                          mean_burst_service_s, tick_s,
+                                          seed)
+              : cache.dek1_result(scenario_.erlang_k,
+                                  mean_burst_service_s, tick_s);
+      if (!solved.ok()) return solved.error();
+      downstream_ = std::move(solved).take_or_throw();
     } else {
-      downstream_ = std::make_shared<const queueing::DEk1Solver>(
+      auto solved = queueing::DEk1Solver::create(
           scenario_.erlang_k, mean_burst_service_s, tick_s);
+      if (!solved.ok()) return solved.error();
+      downstream_ = std::make_shared<const queueing::DEk1Solver>(
+          std::move(solved).take_or_throw());
     }
   }
   const double beta = scenario_.erlang_k / mean_burst_service_s;
@@ -117,11 +161,20 @@ RttModel::RttModel(const AccessScenario& scenario, double n_clients,
   const bool want_paper = options.upstream == UpstreamVariant::kPaperEq14;
   ErlangMixMgf up;
   if (options.use_cache) {
-    const auto md1 = cache.md1(lambda_up, service_up);
-    up = want_paper ? md1->paper : md1->asymptotic;
+    auto md1 = cache.md1_result(lambda_up, service_up);
+    if (!md1.ok()) return md1.error();
+    const auto solution = std::move(md1).take_or_throw();
+    up = want_paper ? solution->paper : solution->asymptotic;
   } else {
-    queueing::MD1 md1{lambda_up, service_up};
-    up = want_paper ? md1.paper_mgf() : md1.asymptotic_mgf();
+    auto created = queueing::MD1::create(lambda_up, service_up);
+    if (!created.ok()) return created.error();
+    const queueing::MD1 md1 = std::move(created).take_or_throw();
+    try {
+      up = want_paper ? md1.paper_mgf() : md1.asymptotic_mgf();
+    } catch (const std::exception& ex) {
+      return fail(err::SolverErrorCode::kNonConvergence,
+                  std::string("RttModel upstream MGF: ") + ex.what());
+    }
   }
   // Keep the upstream pole clear of the D/E_K/1 pole set before the
   // simple-pole product below.
@@ -138,8 +191,19 @@ RttModel::RttModel(const AccessScenario& scenario, double n_clients,
   // numerically a point mass at zero (and its poles have collapsed onto
   // beta — the low-load regime).
   burst_dropped_ = wait_p0() > 1.0 - 1e-12;
-  upw_ = burst_dropped_ ? upstream_
-                        : multiply(upstream_, burst_wait_mgf());
+  if (burst_dropped_) {
+    upw_ = upstream_;
+  } else {
+    try {
+      upw_ = multiply(upstream_, burst_wait_mgf());
+    } catch (const std::exception& ex) {
+      // multiply() refuses (nearly) coincident poles that decollide()
+      // could not separate.
+      return fail(err::SolverErrorCode::kPoleClash,
+                  std::string("RttModel combination: ") + ex.what());
+    }
+  }
+  return std::nullopt;
 }
 
 const queueing::DEk1Solver& RttModel::downstream_solver() const {

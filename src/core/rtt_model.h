@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "core/scenario.h"
+#include "err/error.h"
 #include "queueing/dek1.h"
 #include "queueing/erlang_mix.h"
 #include "queueing/giek1.h"
@@ -53,6 +54,18 @@ struct RttModelOptions {
 
 class RttModel {
  public:
+  /// Non-throwing factory: the construction path used by the batch
+  /// drivers (core::sweep_rtt_quantiles, dimension_table). Errors:
+  ///   - kBadParameters   invalid scenario, n <= 0, K < 2
+  ///   - kUnstable        rho_up >= 1 or rho_down >= 1
+  ///   - kNonConvergence  a solver root/fixed-point search failed
+  ///   - kPoleClash       upstream/burst pole product refused to combine
+  ///   - kIllConditioned  solver weight/atom solution invalid
+  /// plus whatever err::fault_check injects at the queueing.* sites.
+  [[nodiscard]] static err::Result<RttModel> create(
+      const AccessScenario& scenario, double n_clients,
+      const RttModelOptions& options = {});
+
   /// @param scenario   network/traffic parameters (validated)
   /// @param n_clients  number of gamers (may be fractional: the model is
   ///                   parameterized by load; eq. 37 links the two)
@@ -142,8 +155,14 @@ class RttModel {
   }
 
  private:
+  RttModel() = default;  // used by create(); init() populates the state
+
+  [[nodiscard]] std::optional<err::SolverError> init(
+      const AccessScenario& scenario, double n_clients,
+      const RttModelOptions& options);
+
   AccessScenario scenario_;
-  double n_;
+  double n_ = 0.0;
   double rho_up_ = 0.0;
   double rho_down_ = 0.0;
   bool burst_dropped_ = false;

@@ -1,13 +1,18 @@
 #include "core/sweep.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
+#include "queueing/bounds.h"
 #include "queueing/solver_cache.h"
 
 namespace fpsq::core {
@@ -18,6 +23,82 @@ namespace {
 /// count) so the chain structure — which point seeds which — is the same
 /// at any parallelism, which is what makes the sweep bit-identical.
 constexpr std::size_t kWarmChunk = 8;
+
+/// Inverts Kingman's heavy-traffic tail P(W > x) ~ rho e^{-rho x / W}
+/// for the epsilon-quantile [s]; zero when the tail never reaches
+/// epsilon (rho <= epsilon).
+double kingman_quantile(double mean_wait_bound, double rho,
+                        double epsilon) {
+  if (!(rho > epsilon)) return 0.0;
+  return mean_wait_bound / rho * std::log(rho / epsilon);
+}
+
+/// Kingman-bound substitute for a failed sweep point: the upstream M/D/1
+/// and the downstream burst queue each as a GI/G/1 described by first and
+/// second moments, quantiles from the heavy-traffic exponential tail,
+/// position delay bounded by the full burst drain time b. Unavailable
+/// (nullopt) when the bounds themselves do not apply (rho >= 1, bad
+/// parameters).
+std::optional<RttSweepPoint> kingman_fallback_point(
+    const AccessScenario& scenario, double n, double epsilon) {
+  try {
+    const double tick_s = scenario.tick_ms * 1e-3;
+    const double burst_s =
+        8.0 * n * scenario.server_packet_bytes / scenario.bottleneck_bps;
+    const double k = static_cast<double>(scenario.erlang_k);
+    const queueing::GiG1Moments down{
+        tick_s, scenario.tick_jitter_cov * scenario.tick_jitter_cov,
+        burst_s, 1.0 / k};
+    const queueing::GiG1Moments up{
+        tick_s / n, 1.0,
+        8.0 * scenario.client_packet_bytes / scenario.bottleneck_bps, 0.0};
+    const double w_down = queueing::kingman_mean_wait_bound(down);
+    const double w_up = queueing::kingman_mean_wait_bound(up);
+    const double rho_down = queueing::gig1_load(down);
+    const double rho_up = queueing::gig1_load(up);
+    const double q_down = kingman_quantile(w_down, rho_down, epsilon);
+    const double q_up = kingman_quantile(w_up, rho_up, epsilon);
+    // Position delay: the packet drains within its own burst, so it is
+    // bounded by the burst service time b; its mean is (K+1)/(2 beta).
+    const double beta = k / burst_s;
+    const double pos_mean = (k + 1.0) / (2.0 * beta);
+    RttSweepPoint p;
+    p.n_clients = n;
+    p.rho_up = rho_up;
+    p.rho_down = rho_down;
+    p.rtt_quantile_ms = scenario.deterministic_rtt_ms() +
+                        (q_up + q_down + burst_s) * 1e3;
+    p.rtt_mean_ms = scenario.deterministic_rtt_ms() +
+                    (w_up + w_down + pos_mean) * 1e3;
+    p.downstream_quantile_ms = (q_down + burst_s) * 1e3;
+    p.fallback_bound = true;
+    return p;
+  } catch (const std::exception&) {
+    return std::nullopt;  // bound inapplicable (e.g. rho >= 1)
+  }
+}
+
+/// Builds the emitted point for a failed sweep cell under the spec's
+/// policy (kThrow was already handled by the caller).
+RttSweepPoint failed_sweep_point(const RttSweepSpec& spec, double n,
+                                 const err::SolverError& e) {
+  RttSweepPoint p;
+  if (spec.on_failure == err::FailurePolicy::kFallbackBound) {
+    if (auto fb = kingman_fallback_point(spec.scenario, n, spec.epsilon)) {
+      p = *std::move(fb);
+    }
+  }
+  if (p.fallback_bound) {
+    FPSQ_OBS_COUNT("err.fallback_cells");
+  } else {
+    p.failed = true;
+    p.n_clients = n;
+    FPSQ_OBS_COUNT("err.failed_cells");
+  }
+  p.error = e.code;
+  p.error_detail = e.detail;
+  return p;
+}
 
 }  // namespace
 
@@ -56,7 +137,19 @@ std::vector<RttSweepPoint> sweep_rtt_quantiles(const RttSweepSpec& spec) {
           const RttModelOptions opts{
               spec.upstream, spec.use_cache,
               spec.warm_chaining ? prev.get() : nullptr};
-          auto model = std::make_unique<RttModel>(spec.scenario, n, opts);
+          auto created = RttModel::create(spec.scenario, n, opts);
+          if (!created.ok()) {
+            if (spec.on_failure == err::FailurePolicy::kThrow) {
+              err::throw_solver_error(created.error());  // pool rethrows
+            }
+            unique_out[u] = failed_sweep_point(spec, n, created.error());
+            // Never seed the next point from a failed one: the chain
+            // restarts canonically, exactly as at a chunk head.
+            prev.reset();
+            continue;
+          }
+          auto model = std::make_unique<RttModel>(
+              std::move(created).take_or_throw());
           RttSweepPoint p;
           p.n_clients = n;
           p.rho_up = model->rho_up();
@@ -98,9 +191,20 @@ std::vector<DimensioningCell> dimension_table(
         DimensioningCell cell;
         cell.erlang_k = spec.ks[ki];
         cell.rtt_bound_ms = spec.rtt_bounds_ms[bi];
-        cell.result =
-            dimension_for_rtt(scenario, cell.rtt_bound_ms, spec.epsilon,
-                              spec.method, spec.rho_tol);
+        auto result = dimension_for_rtt_checked(
+            scenario, cell.rtt_bound_ms, spec.epsilon, spec.method,
+            spec.rho_tol);
+        if (result.ok()) {
+          cell.result = std::move(result).take_or_throw();
+        } else {
+          if (spec.on_failure == err::FailurePolicy::kThrow) {
+            err::throw_solver_error(result.error());  // pool rethrows
+          }
+          cell.failed = true;
+          cell.error = result.error().code;
+          cell.error_detail = result.error().detail;
+          FPSQ_OBS_COUNT("err.failed_cells");
+        }
         cells[i] = std::move(cell);
       },
       /*chunk=*/1);

@@ -13,6 +13,7 @@
 // (see queueing/solver_cache.h).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/dimensioning.h"
@@ -20,6 +21,7 @@
 #include "core/multi_server.h"
 #include "core/rtt_model.h"
 #include "core/scenario.h"
+#include "err/error.h"
 
 namespace fpsq::core {
 
@@ -32,6 +34,14 @@ struct RttSweepPoint {
   double rtt_mean_ms = 0.0;
   double downstream_quantile_ms = 0.0;
   bool burst_wait_dropped = false;
+  /// Solver failed and no fallback was available (or the policy was
+  /// kFlag): the delay fields above are zero.
+  bool failed = false;
+  /// Solver failed but the delay fields hold the Kingman/heavy-traffic
+  /// bound from queueing/bounds instead of the exact transform solution.
+  bool fallback_bound = false;
+  err::SolverErrorCode error = err::SolverErrorCode::kNone;
+  std::string error_detail;
 };
 
 struct RttSweepSpec {
@@ -42,6 +52,12 @@ struct RttSweepSpec {
   UpstreamVariant upstream = UpstreamVariant::kPaperEq14;
   bool use_cache = true;      ///< route solvers through SolverCache
   bool warm_chaining = true;  ///< zeta warm starts along chunk runs
+  /// What a failed point does to the sweep: kFallbackBound (default)
+  /// substitutes the Kingman bound (flagging the point, or just marking
+  /// it failed when the bound is unavailable, e.g. rho >= 1); kFlag
+  /// always marks failed with zeroed values; kThrow rethrows through the
+  /// pool — the pre-robustness abort-the-sweep behaviour.
+  err::FailurePolicy on_failure = err::FailurePolicy::kFallbackBound;
 };
 
 /// Evaluates the RTT model at every n in spec.n_values, in parallel on
@@ -54,6 +70,11 @@ struct DimensioningCell {
   int erlang_k = 0;
   double rtt_bound_ms = 0.0;
   DimensioningResult result;
+  /// Solver failure inside this cell's bisection: result is zeroed, the
+  /// error identifies why. Other cells are unaffected.
+  bool failed = false;
+  err::SolverErrorCode error = err::SolverErrorCode::kNone;
+  std::string error_detail;
 };
 
 struct DimensioningTableSpec {
@@ -63,11 +84,17 @@ struct DimensioningTableSpec {
   double epsilon = 1e-5;
   CombinationMethod method = CombinationMethod::kFullInversion;
   double rho_tol = 1e-4;
+  /// kThrow rethrows the first failure through the pool (aborting the
+  /// grid); anything else flags the failing cell and keeps going. A
+  /// dimensioning bisection has no meaningful bound substitute, so
+  /// kFallbackBound behaves like kFlag here.
+  err::FailurePolicy on_failure = err::FailurePolicy::kFlag;
 };
 
-/// Runs dimension_for_rtt over the ks x bounds grid in parallel (one
-/// task per cell; each bisection reuses canonical cache entries). Cells
-/// are returned row-major: for each k, every bound in order.
+/// Runs dimension_for_rtt_checked over the ks x bounds grid in parallel
+/// (one task per cell; each bisection reuses canonical cache entries).
+/// Cells are returned row-major: for each k, every bound in order —
+/// including failed cells, which keep their grid position.
 [[nodiscard]] std::vector<DimensioningCell> dimension_table(
     const DimensioningTableSpec& spec);
 

@@ -1,0 +1,61 @@
+#include "err/error.h"
+
+#include "obs/metrics.h"
+
+namespace fpsq::err {
+
+const char* code_name(SolverErrorCode code) noexcept {
+  switch (code) {
+    case SolverErrorCode::kNone:
+      return "none";
+    case SolverErrorCode::kBadParameters:
+      return "bad_parameters";
+    case SolverErrorCode::kUnstable:
+      return "unstable";
+    case SolverErrorCode::kNonConvergence:
+      return "non_convergence";
+    case SolverErrorCode::kPoleClash:
+      return "pole_clash";
+    case SolverErrorCode::kIllConditioned:
+      return "ill_conditioned";
+  }
+  return "unknown";
+}
+
+std::optional<SolverErrorCode> code_from_name(
+    std::string_view name) noexcept {
+  if (name == "bad_parameters") return SolverErrorCode::kBadParameters;
+  if (name == "unstable") return SolverErrorCode::kUnstable;
+  if (name == "non_convergence") return SolverErrorCode::kNonConvergence;
+  if (name == "pole_clash") return SolverErrorCode::kPoleClash;
+  if (name == "ill_conditioned") return SolverErrorCode::kIllConditioned;
+  return std::nullopt;
+}
+
+std::string SolverError::message() const {
+  return std::string(code_name(code)) + ": " + detail;
+}
+
+SolverFailure::SolverFailure(SolverError e)
+    : std::runtime_error(e.message()), error_(std::move(e)) {}
+
+void throw_solver_error(const SolverError& e) {
+  if (e.code == SolverErrorCode::kBadParameters ||
+      e.code == SolverErrorCode::kUnstable) {
+    throw std::invalid_argument(e.detail);
+  }
+  throw SolverFailure{e};
+}
+
+void record_failure(const SolverError& e) {
+#ifndef FPSQ_NO_METRICS
+  auto& reg = obs::MetricsRegistry::global();
+  reg.add_counter("err.solver_failures");
+  reg.add_counter(std::string("err.solver_failures.") +
+                  code_name(e.code));
+#else
+  (void)e;
+#endif
+}
+
+}  // namespace fpsq::err

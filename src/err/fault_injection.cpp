@@ -1,0 +1,115 @@
+#include "err/fault_injection.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace fpsq::err {
+
+namespace {
+
+struct FaultState {
+  std::mutex mu;
+  bool env_consumed = false;
+  std::map<std::string, FaultSpec, std::less<>> faults;
+};
+
+FaultState& state() {
+  static FaultState* s = new FaultState;  // leaked: checked at shutdown
+  return *s;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  double v = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return v;
+}
+
+void load_env_locked(FaultState& s) {
+  if (s.env_consumed) return;
+  s.env_consumed = true;
+  const char* env = std::getenv("FPSQ_FAULT_INJECT");
+  if (env == nullptr) return;
+  for (auto& [site, spec] : parse_fault_spec(env)) {
+    s.faults.emplace(std::move(site), spec);
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, FaultSpec>> parse_fault_spec(
+    std::string_view spec) {
+  std::vector<std::pair<std::string, FaultSpec>> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    const std::string_view site = entry.substr(0, eq);
+    std::string_view rest = entry.substr(eq + 1);
+    FaultSpec fs;
+    fs.lo = -1e300;
+    fs.hi = 1e300;
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string_view range = rest.substr(colon + 1);
+      rest = rest.substr(0, colon);
+      const std::size_t dash = range.find('-', 1);  // allow a leading sign
+      if (dash == std::string_view::npos) continue;
+      const auto lo = parse_double(range.substr(0, dash));
+      const auto hi = parse_double(range.substr(dash + 1));
+      if (!lo || !hi) continue;
+      fs.lo = *lo;
+      fs.hi = *hi;
+    }
+    const auto code = code_from_name(rest);
+    if (!code) continue;
+    fs.code = *code;
+    out.emplace_back(std::string(site), fs);
+  }
+  return out;
+}
+
+void inject_fault(std::string site, SolverErrorCode code, double lo,
+                  double hi) {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  load_env_locked(s);
+  s.faults[std::move(site)] = FaultSpec{code, lo, hi};
+}
+
+void clear_faults() {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.env_consumed = true;  // a cleared plan stays cleared
+  s.faults.clear();
+}
+
+std::optional<SolverError> fault_check(const char* site, double tag) {
+  auto& s = state();
+  FaultSpec spec;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    load_env_locked(s);
+    if (s.faults.empty()) return std::nullopt;
+    const auto it = s.faults.find(std::string_view(site));
+    if (it == s.faults.end()) return std::nullopt;
+    spec = it->second;
+  }
+  if (!(tag >= spec.lo && tag <= spec.hi)) return std::nullopt;
+  FPSQ_OBS_COUNT("err.injected_faults");
+  return SolverError{spec.code, std::string(site) + ": injected fault (" +
+                                    code_name(spec.code) + ")"};
+}
+
+}  // namespace fpsq::err

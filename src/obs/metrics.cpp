@@ -586,6 +586,11 @@ void ensure_baseline_schema() {
   (void)reg.counter("queueing.cache.md1.misses");
   (void)reg.counter("queueing.cache.warm_starts");
   (void)reg.gauge("queueing.cache.entries");
+  // Robustness layer (fpsq::err + the degrading sweep drivers).
+  (void)reg.counter("err.solver_failures");
+  (void)reg.counter("err.injected_faults");
+  (void)reg.counter("err.fallback_cells");
+  (void)reg.counter("err.failed_cells");
 }
 
 }  // namespace fpsq::obs

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "err/fault_injection.h"
 #include "math/fixed_point.h"
 #include "math/linalg.h"
 #include "obs/solver_telemetry.h"
@@ -13,20 +15,48 @@
 
 namespace fpsq::queueing {
 
+err::Result<DEk1Solver> DEk1Solver::create(
+    int k, double mean_service_s, double period_s,
+    const std::vector<Complex>* seed_zetas) {
+  DEk1Solver solver;
+  if (auto e = solver.init(k, mean_service_s, period_s, seed_zetas)) {
+    err::record_failure(*e);
+    return *std::move(e);
+  }
+  return solver;
+}
+
 DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s,
-                       const std::vector<Complex>* seed_zetas)
-    : k_(k), service_s_(mean_service_s), period_s_(period_s) {
+                       const std::vector<Complex>* seed_zetas) {
+  if (auto e = init(k, mean_service_s, period_s, seed_zetas)) {
+    err::record_failure(*e);
+    err::throw_solver_error(*e);
+  }
+}
+
+std::optional<err::SolverError> DEk1Solver::init(
+    int k, double mean_service_s, double period_s,
+    const std::vector<Complex>* seed_zetas) {
+  k_ = k;
+  service_s_ = mean_service_s;
+  period_s_ = period_s;
   const obs::ScopedSolverContext obs_ctx("queueing.dek1");
   FPSQ_SPAN("dek1.pole_search");
   if (k < 1) {
-    throw std::invalid_argument("DEk1Solver: k >= 1 required");
+    return err::SolverError{err::SolverErrorCode::kBadParameters,
+                            "DEk1Solver: k >= 1 required"};
   }
   if (!(mean_service_s > 0.0) || !(period_s > 0.0)) {
-    throw std::invalid_argument("DEk1Solver: positive times required");
+    return err::SolverError{err::SolverErrorCode::kBadParameters,
+                            "DEk1Solver: positive times required"};
   }
   rho_ = mean_service_s / period_s;
   if (!(rho_ < 1.0)) {
-    throw std::invalid_argument("DEk1Solver: unstable (rho >= 1)");
+    return err::SolverError{err::SolverErrorCode::kUnstable,
+                            "DEk1Solver: unstable (rho >= 1)"};
+  }
+  if (auto fault = err::fault_check("queueing.dek1", rho_)) {
+    return fault;
   }
   beta_ = static_cast<double>(k_) / service_s_;
 
@@ -60,10 +90,13 @@ DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s,
     if (!(z0.real() < 1.0)) z0 = Complex{0.0, 0.0};
     const auto res = math::solve_fixed_point(F, dF, z0, 1e-15, 20000);
     if (!res.converged) {
-      throw std::runtime_error("DEk1Solver: zeta iteration did not converge");
+      return err::SolverError{
+          err::SolverErrorCode::kNonConvergence,
+          "DEk1Solver: zeta iteration did not converge"};
     }
     if (!(res.root.real() < 1.0)) {
-      throw std::runtime_error("DEk1Solver: zeta root outside Re z < 1");
+      return err::SolverError{err::SolverErrorCode::kNonConvergence,
+                              "DEk1Solver: zeta root outside Re z < 1"};
     }
     zetas_.push_back(res.root);
     poles_.push_back(beta_ * (Complex{1.0, 0.0} - res.root));
@@ -101,7 +134,7 @@ DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s,
   if (min_rel_dist <= 10.0 * ErlangMixMgf::kPoleClash) {
     degenerate_ = true;
     mgf_ = ErlangMixMgf{};  // point mass at zero; weights remain inspectable
-    return;
+    return std::nullopt;
   }
 
   // Assemble the MGF: constant + simple poles.
@@ -117,9 +150,11 @@ DEk1Solver::DEk1Solver(int k, double mean_service_s, double period_s,
   // theory; fold any numerical residue away.
   const double atom = 1.0 - weight_sum.real();
   if (!(atom > -1e-9 && atom < 1.0 + 1e-9)) {
-    throw std::runtime_error("DEk1Solver: atom out of range");
+    return err::SolverError{err::SolverErrorCode::kIllConditioned,
+                            "DEk1Solver: atom out of range"};
   }
   mgf_ = ErlangMixMgf{atom, std::move(terms)};
+  return std::nullopt;
 }
 
 double DEk1Solver::p_wait_zero() const { return mgf_.constant_term(); }

@@ -15,12 +15,25 @@
 
 #include <vector>
 
+#include "err/error.h"
 #include "queueing/erlang_mix.h"
 
 namespace fpsq::queueing {
 
 class DEk1Solver {
  public:
+  /// Non-throwing factory: the preferred construction path on hot loops
+  /// (sweeps, dimensioning grids). Returns a structured err::SolverError
+  /// instead of throwing:
+  ///   - kBadParameters   k < 1 or non-positive times
+  ///   - kUnstable        rho = b/T >= 1
+  ///   - kNonConvergence  zeta fixed-point failure / root outside Re z < 1
+  ///   - kIllConditioned  Vandermonde weights yield an atom outside [0, 1]
+  /// Fault-injection site: "queueing.dek1" (tag = rho).
+  [[nodiscard]] static err::Result<DEk1Solver> create(
+      int k, double mean_service_s, double period_s,
+      const std::vector<Complex>* seed_zetas = nullptr);
+
   /// @param k               Erlang order of the burst size (>= 1)
   /// @param mean_service_s  mean burst service time b = E[burst]/rate [s]
   /// @param period_s        burst inter-arrival time T [s]
@@ -34,6 +47,8 @@ class DEk1Solver {
   ///                        from root j-1 rotated by e^{2 pi i / K} — a
   ///                        deterministic function of the parameters.
   /// @throws std::invalid_argument unless 0 < b < T (stability) and k >= 1
+  /// @throws err::SolverFailure on numerical failure (non-convergence,
+  ///         ill-conditioned weights); thin wrapper over create().
   DEk1Solver(int k, double mean_service_s, double period_s,
              const std::vector<Complex>* seed_zetas = nullptr);
 
@@ -91,11 +106,18 @@ class DEk1Solver {
   [[nodiscard]] bool degenerate() const noexcept { return degenerate_; }
 
  private:
-  int k_;
-  double service_s_;
-  double period_s_;
-  double rho_;
-  double beta_;
+  DEk1Solver() = default;  // used by create(); init() populates the state
+
+  /// Does the actual solve; returns the error instead of throwing.
+  [[nodiscard]] std::optional<err::SolverError> init(
+      int k, double mean_service_s, double period_s,
+      const std::vector<Complex>* seed_zetas);
+
+  int k_ = 0;
+  double service_s_ = 0.0;
+  double period_s_ = 0.0;
+  double rho_ = 0.0;
+  double beta_ = 0.0;
   std::vector<Complex> zetas_;
   std::vector<Complex> poles_;
   std::vector<Complex> weights_;

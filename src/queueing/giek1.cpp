@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "err/fault_injection.h"
 #include "math/fixed_point.h"
 #include "math/linalg.h"
 #include "obs/solver_telemetry.h"
@@ -50,22 +52,51 @@ ArrivalTransform gamma_arrivals_mean_cov(double mean_s, double cov) {
   return gamma_arrivals(shape, shape / mean_s);
 }
 
+err::Result<GiEk1Solver> GiEk1Solver::create(
+    int k, double mean_service_s, ArrivalTransform arrivals,
+    const std::vector<Complex>* seed_zetas) {
+  GiEk1Solver solver;
+  if (auto e =
+          solver.init(k, mean_service_s, std::move(arrivals), seed_zetas)) {
+    err::record_failure(*e);
+    return *std::move(e);
+  }
+  return solver;
+}
+
 GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
                          ArrivalTransform arrivals,
-                         const std::vector<Complex>* seed_zetas)
-    : k_(k), service_s_(mean_service_s), arrivals_(std::move(arrivals)) {
+                         const std::vector<Complex>* seed_zetas) {
+  if (auto e = init(k, mean_service_s, std::move(arrivals), seed_zetas)) {
+    err::record_failure(*e);
+    err::throw_solver_error(*e);
+  }
+}
+
+std::optional<err::SolverError> GiEk1Solver::init(
+    int k, double mean_service_s, ArrivalTransform arrivals,
+    const std::vector<Complex>* seed_zetas) {
+  k_ = k;
+  service_s_ = mean_service_s;
+  arrivals_ = std::move(arrivals);
   const obs::ScopedSolverContext obs_ctx("queueing.giek1");
   FPSQ_SPAN("giek1.pole_search");
   if (k < 1) {
-    throw std::invalid_argument("GiEk1Solver: k >= 1 required");
+    return err::SolverError{err::SolverErrorCode::kBadParameters,
+                            "GiEk1Solver: k >= 1 required"};
   }
   if (!(mean_service_s > 0.0) || !(arrivals_.mean > 0.0) ||
       !arrivals_.log_laplace) {
-    throw std::invalid_argument("GiEk1Solver: bad service/arrival spec");
+    return err::SolverError{err::SolverErrorCode::kBadParameters,
+                            "GiEk1Solver: bad service/arrival spec"};
   }
   rho_ = service_s_ / arrivals_.mean;
   if (!(rho_ < 1.0)) {
-    throw std::invalid_argument("GiEk1Solver: unstable (rho >= 1)");
+    return err::SolverError{err::SolverErrorCode::kUnstable,
+                            "GiEk1Solver: unstable (rho >= 1)"};
+  }
+  if (auto fault = err::fault_check("queueing.giek1", rho_)) {
+    return fault;
   }
   beta_ = static_cast<double>(k_) / service_s_;
 
@@ -105,11 +136,13 @@ GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
     if (!(std::abs(z0) < 1.0)) z0 = Complex{0.0, 0.0};
     const auto res = math::solve_fixed_point(map, dmap, z0, 1e-12, 50000);
     if (!res.converged) {
-      throw std::runtime_error(
-          "GiEk1Solver: zeta iteration did not converge");
+      return err::SolverError{
+          err::SolverErrorCode::kNonConvergence,
+          "GiEk1Solver: zeta iteration did not converge"};
     }
     if (!(std::abs(res.root) < 1.0 + 1e-12)) {
-      throw std::runtime_error("GiEk1Solver: root outside the unit disk");
+      return err::SolverError{err::SolverErrorCode::kNonConvergence,
+                              "GiEk1Solver: root outside the unit disk"};
     }
     zetas_.push_back(res.root);
     poles_.push_back(beta_ * (Complex{1.0, 0.0} - res.root));
@@ -144,7 +177,7 @@ GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
   if (min_rel <= 10.0 * ErlangMixMgf::kPoleClash) {
     degenerate_ = true;
     mgf_ = ErlangMixMgf{};
-    return;
+    return std::nullopt;
   }
 
   Complex wsum{0.0, 0.0};
@@ -157,9 +190,11 @@ GiEk1Solver::GiEk1Solver(int k, double mean_service_s,
   }
   const double atom = 1.0 - wsum.real();
   if (!(atom > -1e-9 && atom < 1.0 + 1e-9)) {
-    throw std::runtime_error("GiEk1Solver: atom out of range");
+    return err::SolverError{err::SolverErrorCode::kIllConditioned,
+                            "GiEk1Solver: atom out of range"};
   }
   mgf_ = ErlangMixMgf{atom, std::move(terms)};
+  return std::nullopt;
 }
 
 }  // namespace fpsq::queueing

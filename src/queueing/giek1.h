@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "err/error.h"
 #include "queueing/erlang_mix.h"
 
 namespace fpsq::queueing {
@@ -60,6 +61,13 @@ struct ArrivalTransform {
 
 class GiEk1Solver {
  public:
+  /// Non-throwing factory (see DEk1Solver::create for the error taxonomy:
+  /// kBadParameters, kUnstable, kNonConvergence, kIllConditioned).
+  /// Fault-injection site: "queueing.giek1" (tag = rho).
+  [[nodiscard]] static err::Result<GiEk1Solver> create(
+      int k, double mean_service_s, ArrivalTransform arrivals,
+      const std::vector<Complex>* seed_zetas = nullptr);
+
   /// @param k               Erlang service order (>= 1)
   /// @param mean_service_s  mean burst service time [s]
   /// @param arrivals        interarrival transform; rho = b/E[A] < 1
@@ -67,6 +75,8 @@ class GiEk1Solver {
   ///                        adjacent point's roots seed the fixed-point
   ///                        search; without it, root j is seeded from
   ///                        root j-1 rotated by e^{2 pi i / K}.
+  /// @throws std::invalid_argument on bad parameters or instability;
+  ///         err::SolverFailure on numerical failure (wrapper of create()).
   GiEk1Solver(int k, double mean_service_s, ArrivalTransform arrivals,
               const std::vector<Complex>* seed_zetas = nullptr);
 
@@ -99,8 +109,14 @@ class GiEk1Solver {
   [[nodiscard]] bool degenerate() const noexcept { return degenerate_; }
 
  private:
-  int k_;
-  double service_s_;
+  GiEk1Solver() = default;  // used by create(); init() populates the state
+
+  [[nodiscard]] std::optional<err::SolverError> init(
+      int k, double mean_service_s, ArrivalTransform arrivals,
+      const std::vector<Complex>* seed_zetas);
+
+  int k_ = 0;
+  double service_s_ = 0.0;
   ArrivalTransform arrivals_;
   double rho_ = 0.0;
   double beta_ = 0.0;

@@ -2,29 +2,58 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "err/fault_injection.h"
 #include "math/roots.h"
 #include "obs/solver_telemetry.h"
 #include "obs/trace.h"
 
 namespace fpsq::queueing {
 
-MG1DeterministicMix::MG1DeterministicMix(std::vector<ClassSpec> classes)
-    : classes_(std::move(classes)) {
+err::Result<MG1DeterministicMix> MG1DeterministicMix::create(
+    std::vector<ClassSpec> classes) {
+  MG1DeterministicMix mix;
+  if (auto e = mix.init(std::move(classes))) {
+    err::record_failure(*e);
+    return *std::move(e);
+  }
+  return mix;
+}
+
+MG1DeterministicMix::MG1DeterministicMix(std::vector<ClassSpec> classes) {
+  if (auto e = init(std::move(classes))) {
+    err::record_failure(*e);
+    err::throw_solver_error(*e);
+  }
+}
+
+std::optional<err::SolverError> MG1DeterministicMix::init(
+    std::vector<ClassSpec> classes) {
+  classes_ = std::move(classes);
+  lambda_ = 0.0;
+  rho_ = 0.0;
   if (classes_.empty()) {
-    throw std::invalid_argument("MG1DeterministicMix: no classes");
+    return err::SolverError{err::SolverErrorCode::kBadParameters,
+                            "MG1DeterministicMix: no classes"};
   }
   for (const auto& c : classes_) {
     if (!(c.lambda > 0.0) || !(c.service_s > 0.0)) {
-      throw std::invalid_argument(
-          "MG1DeterministicMix: rates and services must be positive");
+      return err::SolverError{
+          err::SolverErrorCode::kBadParameters,
+          "MG1DeterministicMix: rates and services must be positive"};
     }
     lambda_ += c.lambda;
     rho_ += c.lambda * c.service_s;
   }
   if (!(rho_ < 1.0)) {
-    throw std::invalid_argument("MG1DeterministicMix: unstable (rho >= 1)");
+    return err::SolverError{err::SolverErrorCode::kUnstable,
+                            "MG1DeterministicMix: unstable (rho >= 1)"};
   }
+  if (auto fault = err::fault_check("queueing.mg1", rho_)) {
+    return fault;
+  }
+  return std::nullopt;
 }
 
 double MG1DeterministicMix::mean_wait() const {
@@ -81,6 +110,12 @@ ErlangMixMgf MG1DeterministicMix::asymptotic_mgf() const {
   const double tail_const = -(1.0 - rho_) / gp;
   return ErlangMixMgf::atom_plus_exponential(1.0 - tail_const,
                                              Complex{gamma, 0.0});
+}
+
+err::Result<MD1> MD1::create(double lambda, double service_s) {
+  auto mix = MG1DeterministicMix::create({{lambda, service_s}});
+  if (!mix.ok()) return mix.error();
+  return MD1(lambda, service_s, std::move(mix).take_or_throw());
 }
 
 MD1::MD1(double lambda, double service_s)

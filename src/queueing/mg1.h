@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "err/error.h"
 #include "queueing/erlang_mix.h"
 
 namespace fpsq::queueing {
@@ -30,6 +31,14 @@ class MG1DeterministicMix {
     double service_s;  ///< deterministic service time [s]
   };
 
+  /// Non-throwing factory. Error taxonomy:
+  ///   - kBadParameters  empty class list, non-positive rate/service
+  ///   - kUnstable       rho = sum lambda_i d_i >= 1
+  /// Fault-injection site: "queueing.mg1" (tag = rho).
+  [[nodiscard]] static err::Result<MG1DeterministicMix> create(
+      std::vector<ClassSpec> classes);
+
+  /// @throws std::invalid_argument on any of the create() errors.
   explicit MG1DeterministicMix(std::vector<ClassSpec> classes);
 
   [[nodiscard]] double rho() const noexcept { return rho_; }
@@ -53,6 +62,11 @@ class MG1DeterministicMix {
   }
 
  private:
+  MG1DeterministicMix() = default;  // used by create(); init() populates
+
+  [[nodiscard]] std::optional<err::SolverError> init(
+      std::vector<ClassSpec> classes);
+
   std::vector<ClassSpec> classes_;
   double lambda_ = 0.0;
   double rho_ = 0.0;
@@ -62,6 +76,11 @@ class MG1DeterministicMix {
 /// waiting-time distribution.
 class MD1 {
  public:
+  /// Non-throwing factory (same taxonomy and fault site as
+  /// MG1DeterministicMix::create).
+  [[nodiscard]] static err::Result<MD1> create(double lambda,
+                                               double service_s);
+
   /// @param lambda     Poisson arrival rate [1/s]
   /// @param service_s  deterministic service time [s]
   MD1(double lambda, double service_s);
@@ -104,6 +123,9 @@ class MD1 {
   [[nodiscard]] double loss_probability_approx(int buffer_packets) const;
 
  private:
+  MD1(double lambda, double service_s, MG1DeterministicMix mix)
+      : lambda_(lambda), service_s_(service_s), mix_(std::move(mix)) {}
+
   double lambda_;
   double service_s_;
   MG1DeterministicMix mix_;

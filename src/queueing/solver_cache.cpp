@@ -54,11 +54,14 @@ struct SolverCache::Impl {
   /// Lookup/insert skeleton shared by the three solver kinds: the solve
   /// itself runs outside the lock; a concurrent miss computes the same
   /// canonical bits, and the first insert wins (both pointers are
-  /// equivalent, so either may be returned).
+  /// equivalent, so either may be returned). `solve` returns an
+  /// err::Result<V>; failed solves count a miss but are never stored.
   template <typename V, typename Solve>
-  std::shared_ptr<const V> get(CacheMap<V>& map, const Key& key,
-                               const char* hit_name, const char* miss_name,
-                               const Solve& solve) {
+  err::Result<std::shared_ptr<const V>> get(CacheMap<V>& map,
+                                            const Key& key,
+                                            const char* hit_name,
+                                            const char* miss_name,
+                                            const Solve& solve) {
     {
       const std::lock_guard<std::mutex> lock(mu);
       if (enabled) {
@@ -70,10 +73,16 @@ struct SolverCache::Impl {
         }
       }
     }
-    auto value = std::make_shared<const V>(solve());
+    err::Result<V> solved = solve();
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      ++misses;
+      obs::MetricsRegistry::global().add_counter(miss_name);
+    }
+    if (!solved.ok()) return solved.error();
+    auto value =
+        std::make_shared<const V>(std::move(solved).take_or_throw());
     const std::lock_guard<std::mutex> lock(mu);
-    ++misses;
-    obs::MetricsRegistry::global().add_counter(miss_name);
     if (!enabled) return value;
     const auto [it, inserted] = map.emplace(key, value);
     if (inserted) note_entries_locked();
@@ -116,17 +125,30 @@ SolverCache::Stats SolverCache::stats() const {
 std::shared_ptr<const DEk1Solver> SolverCache::dek1(int k,
                                                     double mean_service_s,
                                                     double period_s) {
+  return dek1_result(k, mean_service_s, period_s).take_or_throw();
+}
+
+err::Result<std::shared_ptr<const DEk1Solver>> SolverCache::dek1_result(
+    int k, double mean_service_s, double period_s) {
   const Key key{k, quantize(mean_service_s), quantize(period_s)};
   return impl_->get(
       impl_->dek1, key, "queueing.cache.dek1.hits",
       "queueing.cache.dek1.misses", [&] {
-        return DEk1Solver{k, mean_service_s, period_s};
+        return DEk1Solver::create(k, mean_service_s, period_s);
       });
 }
 
 std::shared_ptr<const DEk1Solver> SolverCache::dek1_chained(
     int k, double mean_service_s, double period_s,
     const DEk1Solver* neighbor) {
+  return dek1_chained_result(k, mean_service_s, period_s, neighbor)
+      .take_or_throw();
+}
+
+err::Result<std::shared_ptr<const DEk1Solver>>
+SolverCache::dek1_chained_result(int k, double mean_service_s,
+                                 double period_s,
+                                 const DEk1Solver* neighbor) {
   const Key key{k, quantize(mean_service_s), quantize(period_s)};
   {
     const std::lock_guard<std::mutex> lock(impl_->mu);
@@ -143,12 +165,16 @@ std::shared_ptr<const DEk1Solver> SolverCache::dek1_chained(
       neighbor != nullptr && neighbor->k() == k ? &neighbor->zetas()
                                                 : nullptr;
   if (seeds != nullptr) FPSQ_OBS_COUNT("queueing.cache.warm_starts");
-  auto value = std::make_shared<const DEk1Solver>(k, mean_service_s,
-                                                  period_s, seeds);
-  const std::lock_guard<std::mutex> lock(impl_->mu);
-  ++impl_->misses;
-  FPSQ_OBS_COUNT("queueing.cache.dek1.misses");
-  return value;  // chained solve: never stored (see header)
+  auto solved = DEk1Solver::create(k, mean_service_s, period_s, seeds);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->misses;
+    FPSQ_OBS_COUNT("queueing.cache.dek1.misses");
+  }
+  if (!solved.ok()) return solved.error();
+  // Chained solve: never stored (see header).
+  return std::make_shared<const DEk1Solver>(
+      std::move(solved).take_or_throw());
 }
 
 namespace {
@@ -168,22 +194,37 @@ Key giek1_key(int k, double mean_service_s,
 
 std::shared_ptr<const GiEk1Solver> SolverCache::giek1(
     int k, double mean_service_s, const ArrivalTransform& arrivals) {
+  return giek1_result(k, mean_service_s, arrivals).take_or_throw();
+}
+
+err::Result<std::shared_ptr<const GiEk1Solver>> SolverCache::giek1_result(
+    int k, double mean_service_s, const ArrivalTransform& arrivals) {
   if (arrivals.key_params.empty()) {
     // No numeric identity: solve fresh, never memoize.
-    return std::make_shared<const GiEk1Solver>(k, mean_service_s,
-                                               arrivals);
+    auto solved = GiEk1Solver::create(k, mean_service_s, arrivals);
+    if (!solved.ok()) return solved.error();
+    return std::make_shared<const GiEk1Solver>(
+        std::move(solved).take_or_throw());
   }
   const Key key = giek1_key(k, mean_service_s, arrivals);
   return impl_->get(
       impl_->giek1, key, "queueing.cache.giek1.hits",
       "queueing.cache.giek1.misses", [&] {
-        return GiEk1Solver{k, mean_service_s, arrivals};
+        return GiEk1Solver::create(k, mean_service_s, arrivals);
       });
 }
 
 std::shared_ptr<const GiEk1Solver> SolverCache::giek1_chained(
     int k, double mean_service_s, const ArrivalTransform& arrivals,
     const GiEk1Solver* neighbor) {
+  return giek1_chained_result(k, mean_service_s, arrivals, neighbor)
+      .take_or_throw();
+}
+
+err::Result<std::shared_ptr<const GiEk1Solver>>
+SolverCache::giek1_chained_result(int k, double mean_service_s,
+                                  const ArrivalTransform& arrivals,
+                                  const GiEk1Solver* neighbor) {
   if (!arrivals.key_params.empty()) {
     const Key key = giek1_key(k, mean_service_s, arrivals);
     const std::lock_guard<std::mutex> lock(impl_->mu);
@@ -200,25 +241,46 @@ std::shared_ptr<const GiEk1Solver> SolverCache::giek1_chained(
       neighbor != nullptr && neighbor->k() == k ? &neighbor->zetas()
                                                 : nullptr;
   if (seeds != nullptr) FPSQ_OBS_COUNT("queueing.cache.warm_starts");
-  auto value = std::make_shared<const GiEk1Solver>(k, mean_service_s,
-                                                   arrivals, seeds);
-  const std::lock_guard<std::mutex> lock(impl_->mu);
-  ++impl_->misses;
-  FPSQ_OBS_COUNT("queueing.cache.giek1.misses");
-  return value;
+  auto solved = GiEk1Solver::create(k, mean_service_s, arrivals, seeds);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->misses;
+    FPSQ_OBS_COUNT("queueing.cache.giek1.misses");
+  }
+  if (!solved.ok()) return solved.error();
+  return std::make_shared<const GiEk1Solver>(
+      std::move(solved).take_or_throw());
 }
 
 std::shared_ptr<const MD1Solution> SolverCache::md1(double lambda,
                                                     double service_s) {
+  return md1_result(lambda, service_s).take_or_throw();
+}
+
+err::Result<std::shared_ptr<const MD1Solution>> SolverCache::md1_result(
+    double lambda, double service_s) {
   const Key key{quantize(lambda), quantize(service_s)};
   return impl_->get(
       impl_->md1, key, "queueing.cache.md1.hits",
-      "queueing.cache.md1.misses", [&] {
-        MD1 queue{lambda, service_s};
-        ErlangMixMgf paper = queue.paper_mgf();
-        ErlangMixMgf asym = queue.asymptotic_mgf();
-        return MD1Solution{std::move(queue), std::move(paper),
-                           std::move(asym)};
+      "queueing.cache.md1.misses",
+      [&]() -> err::Result<MD1Solution> {
+        auto created = MD1::create(lambda, service_s);
+        if (!created.ok()) return created.error();
+        MD1 queue = std::move(created).take_or_throw();
+        try {
+          // The dominant-pole root search behind both MGFs can fail to
+          // converge; surface that as a structured error.
+          ErlangMixMgf paper = queue.paper_mgf();
+          ErlangMixMgf asym = queue.asymptotic_mgf();
+          return MD1Solution{std::move(queue), std::move(paper),
+                             std::move(asym)};
+        } catch (const std::exception& ex) {
+          const err::SolverError e{
+              err::SolverErrorCode::kNonConvergence,
+              std::string("MD1 single-pole MGF: ") + ex.what()};
+          err::record_failure(e);
+          return e;
+        }
       });
 }
 

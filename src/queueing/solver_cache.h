@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "err/error.h"
 #include "queueing/dek1.h"
 #include "queueing/giek1.h"
 #include "queueing/mg1.h"
@@ -69,7 +70,14 @@ class SolverCache {
   [[nodiscard]] Stats stats() const;
 
   /// D/E_K/1 solution for (k, b, T); canonical solve on miss.
+  /// Throwing wrapper over dek1_result().
   [[nodiscard]] std::shared_ptr<const DEk1Solver> dek1(
+      int k, double mean_service_s, double period_s);
+
+  /// Checked variant: returns the solver's structured error instead of
+  /// throwing. Failed solves are never cached (a later call with relaxed
+  /// fault injection or different seeds may succeed).
+  [[nodiscard]] err::Result<std::shared_ptr<const DEk1Solver>> dek1_result(
       int k, double mean_service_s, double period_s);
 
   /// Like dek1(), but a miss seeds the zeta search from `neighbor`'s
@@ -79,19 +87,43 @@ class SolverCache {
       int k, double mean_service_s, double period_s,
       const DEk1Solver* neighbor);
 
+  /// Checked variant of dek1_chained().
+  [[nodiscard]] err::Result<std::shared_ptr<const DEk1Solver>>
+  dek1_chained_result(int k, double mean_service_s, double period_s,
+                      const DEk1Solver* neighbor);
+
   /// GI/E_K/1 solution; memoized only when `arrivals.key_params` is
   /// non-empty (the factories fill it; custom transforms solve fresh).
+  /// Throwing wrapper over giek1_result().
   [[nodiscard]] std::shared_ptr<const GiEk1Solver> giek1(
       int k, double mean_service_s, const ArrivalTransform& arrivals);
+
+  /// Checked variant of giek1(); failed solves are never cached.
+  [[nodiscard]] err::Result<std::shared_ptr<const GiEk1Solver>>
+  giek1_result(int k, double mean_service_s,
+               const ArrivalTransform& arrivals);
 
   /// Chained variant of giek1(), same contract as dek1_chained().
   [[nodiscard]] std::shared_ptr<const GiEk1Solver> giek1_chained(
       int k, double mean_service_s, const ArrivalTransform& arrivals,
       const GiEk1Solver* neighbor);
 
+  /// Checked variant of giek1_chained().
+  [[nodiscard]] err::Result<std::shared_ptr<const GiEk1Solver>>
+  giek1_chained_result(int k, double mean_service_s,
+                       const ArrivalTransform& arrivals,
+                       const GiEk1Solver* neighbor);
+
   /// M/D/1 solution for (lambda, d) with both single-pole MGFs built.
+  /// Throwing wrapper over md1_result().
   [[nodiscard]] std::shared_ptr<const MD1Solution> md1(double lambda,
                                                        double service_s);
+
+  /// Checked variant of md1(): parameter/stability errors come from
+  /// MD1::create; a dominant-pole search failure while building the
+  /// single-pole MGFs maps to kNonConvergence. Failures are never cached.
+  [[nodiscard]] err::Result<std::shared_ptr<const MD1Solution>> md1_result(
+      double lambda, double service_s);
 
   /// The key quantizer (exposed for tests): keeps the sign, exponent and
   /// top 44 mantissa bits of the value.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,7 +43,10 @@ ReplicationStats replication_stats(
     const std::function<double(const GamingScenarioResult&)>& metric) {
   ReplicationStats s;
   s.count = replications.size();
-  if (s.count == 0) return s;
+  if (s.count == 0) {
+    throw std::invalid_argument(
+        "replication_stats: no replications to summarize");
+  }
   s.min = std::numeric_limits<double>::infinity();
   s.max = -std::numeric_limits<double>::infinity();
   double sum = 0.0;
@@ -62,6 +66,7 @@ ReplicationStats replication_stats(
   s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
   s.ci95_half_width =
       1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  s.has_ci = true;
   return s;
 }
 

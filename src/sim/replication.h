@@ -31,15 +31,22 @@ namespace fpsq::sim {
 struct ReplicationStats {
   std::size_t count = 0;
   double mean = 0.0;
-  double stddev = 0.0;  ///< sample (n-1) standard deviation
+  double stddev = 0.0;  ///< sample (n-1) standard deviation; 0 for n = 1
   double min = 0.0;
   double max = 0.0;
   /// Half-width of the normal-approximation 95% confidence interval for
-  /// the mean (1.96 stddev / sqrt(n); 0 when count < 2).
+  /// the mean (1.96 stddev / sqrt(n)). Only meaningful when has_ci.
   double ci95_half_width = 0.0;
+  /// False for a single replication: the sample variance is undefined
+  /// there, so no interval exists (ci95_half_width stays 0 — an *absent*
+  /// interval, not a zero-width one).
+  bool has_ci = false;
 };
 
 /// Reduces a metric (e.g. the p99.9 of true_ping) over replications.
+/// @throws std::invalid_argument on an empty replication vector — there
+///         is no meaningful summary of zero runs, and silently returning
+///         zeros has masked dropped-replication bugs before.
 [[nodiscard]] ReplicationStats replication_stats(
     const std::vector<GamingScenarioResult>& replications,
     const std::function<double(const GamingScenarioResult&)>& metric);

@@ -164,5 +164,46 @@ TEST(DEk1, ScalesWithTimeUnits) {
   EXPECT_NEAR(a.mean_wait(), 10.0 * b.mean_wait(), 1e-10);
 }
 
+TEST(DEk1, DegenerateRegimeIsAFullPointMass) {
+  // Collapsed-pole regime (rho = 0.05, |zeta| ~ e^{-20}): the solver
+  // reports success with W collapsed to a point mass at zero — not a
+  // numerical failure. Every query must be consistent with that law.
+  auto created = DEk1Solver::create(4, 0.05, 1.0);
+  ASSERT_TRUE(created.ok());
+  const DEk1Solver& q = created.value();
+  EXPECT_TRUE(q.degenerate());
+  EXPECT_DOUBLE_EQ(q.p_wait_zero(), 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(q.wait_quantile(1e-6), 0.0);
+  // The MGF is the constant 1 (pure atom, no exponential terms).
+  EXPECT_DOUBLE_EQ(q.waiting_mgf().value_real(0.5), 1.0);
+  // System time degenerates to the bare Erlang service: W + B = B.
+  const double st = q.system_time_quantile(1e-3);
+  EXPECT_GT(st, 0.0);
+  EXPECT_LT(st, 1.0);
+  // The factory and the throwing constructor agree on degeneracy.
+  const DEk1Solver direct{4, 0.05, 1.0};
+  EXPECT_TRUE(direct.degenerate());
+  EXPECT_EQ(direct.system_time_quantile(1e-3), st);
+}
+
+TEST(DEk1, DegenerateSeedsStillReachModerateLoadRoots) {
+  // Warm-starting from a degenerate (near-zero) zeta set must converge
+  // to the same roots as a cold solve: each root equation has a unique
+  // solution in Re z < 1, so the seed changes iteration count only.
+  const DEk1Solver cold{6, 0.5, 1.0};
+  const DEk1Solver low{6, 0.02, 1.0};
+  ASSERT_TRUE(low.degenerate());
+  auto seeded = DEk1Solver::create(6, 0.5, 1.0, &low.zetas());
+  ASSERT_TRUE(seeded.ok());
+  for (std::size_t j = 0; j < cold.zetas().size(); ++j) {
+    EXPECT_NEAR(std::abs(seeded.value().zetas()[j] - cold.zetas()[j]),
+                0.0, 1e-9)
+        << "root " << j;
+  }
+  EXPECT_NEAR(seeded.value().wait_quantile(1e-4),
+              cold.wait_quantile(1e-4), 1e-9);
+}
+
 }  // namespace
 }  // namespace fpsq::queueing

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "par/thread_pool.h"
@@ -98,11 +100,17 @@ TEST(ReplicationStats, ReducesCorrectly) {
   EXPECT_NEAR(s.ci95_half_width, 1.96 * s.stddev / 2.0, 1e-12);
 }
 
-TEST(ReplicationStats, EmptyAndSingleton) {
+TEST(ReplicationStats, EmptyThrowsSingletonHasNoCi) {
+  // Zero replications have no meaningful summary: reject loudly instead
+  // of returning all-zero stats that read like a real (degenerate) run.
   const std::vector<sim::GamingScenarioResult> none;
-  const auto s0 = sim::replication_stats(
-      none, [](const sim::GamingScenarioResult&) { return 1.0; });
-  EXPECT_EQ(s0.count, 0u);
+  EXPECT_THROW(sim::replication_stats(
+                   none, [](const sim::GamingScenarioResult&) {
+                     return 1.0;
+                   }),
+               std::invalid_argument);
+  // One replication: mean/min/max are exact, the sample stddev is
+  // undefined (reported as 0), and the CI is *absent*, not zero-width.
   std::vector<sim::GamingScenarioResult> one(1);
   one[0].events = 7;
   const auto s1 = sim::replication_stats(
@@ -111,6 +119,22 @@ TEST(ReplicationStats, EmptyAndSingleton) {
       });
   EXPECT_EQ(s1.count, 1u);
   EXPECT_DOUBLE_EQ(s1.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s1.min, 7.0);
+  EXPECT_DOUBLE_EQ(s1.max, 7.0);
   EXPECT_DOUBLE_EQ(s1.stddev, 0.0);
+  EXPECT_FALSE(std::isnan(s1.stddev));
   EXPECT_DOUBLE_EQ(s1.ci95_half_width, 0.0);
+  EXPECT_FALSE(s1.has_ci);
+}
+
+TEST(ReplicationStats, MultiRepHasCi) {
+  std::vector<sim::GamingScenarioResult> two(2);
+  two[0].events = 3;
+  two[1].events = 5;
+  const auto s = sim::replication_stats(
+      two, [](const sim::GamingScenarioResult& r) {
+        return static_cast<double>(r.events);
+      });
+  EXPECT_TRUE(s.has_ci);
+  EXPECT_GT(s.ci95_half_width, 0.0);
 }

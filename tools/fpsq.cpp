@@ -12,9 +12,13 @@
 // and --trace-out FILE (Chrome trace JSON); see docs/OBSERVABILITY.md.
 // Run `fpsq help` or `fpsq help <command>` for the full flag list.
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,6 +28,7 @@
 #include "core/sweep.h"
 #include "core/validation.h"
 #include "dist/fitting.h"
+#include "err/error.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
@@ -40,23 +45,111 @@ namespace {
 
 using namespace fpsq;
 
-/// Tiny --flag value parser: flags are "--name value" pairs.
+/// Malformed command line: carries the failing subcommand so main() can
+/// print that command's usage text next to the message.
+class UsageError : public std::runtime_error {
+ public:
+  UsageError(std::string command, const std::string& what)
+      : std::runtime_error(what), command_(std::move(command)) {}
+  [[nodiscard]] const std::string& command() const noexcept {
+    return command_;
+  }
+
+ private:
+  std::string command_;
+};
+
+/// Strict double parse: the whole token must be a finite number. Unlike
+/// the old atof path, "6O", "1e", "" and trailing junk are all errors,
+/// never a silent 0.0.
+double parse_number(const std::string& cmd, const std::string& flag,
+                    const std::string& text) {
+  double v = 0.0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, v);
+  if (text.empty() || ec != std::errc{} || ptr != last ||
+      !std::isfinite(v)) {
+    throw UsageError(cmd,
+                     "invalid number for --" + flag + ": '" + text + "'");
+  }
+  return v;
+}
+
+/// Strict integer parse; "2.5" and "1e3" are errors, not truncations.
+long long parse_integer(const std::string& cmd, const std::string& flag,
+                        const std::string& text) {
+  long long v = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, v);
+  if (text.empty() || ec != std::errc{} || ptr != last) {
+    throw UsageError(cmd,
+                     "invalid integer for --" + flag + ": '" + text + "'");
+  }
+  return v;
+}
+
+/// Execution + observability flags every command accepts.
+const char* const kCommonFlags[] = {"threads", "cache", "metrics-out",
+                                    "trace-out"};
+
+/// Tiny --flag value parser: flags are "--name value" pairs. Numeric
+/// access is strict (std::from_chars over the whole token): malformed
+/// values raise a UsageError instead of silently reading as 0.
 class Args {
  public:
-  Args(int argc, char** argv, int first) {
+  Args(std::string command, int argc, char** argv, int first)
+      : cmd_(std::move(command)) {
     for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
-        throw std::invalid_argument("expected --flag value pairs, got '" +
-                                    key + "'");
+      const std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || key.size() <= 2) {
+        throw UsageError(
+            cmd_, "expected --flag value pairs, got '" + key + "'");
+      }
+      if (i + 1 >= argc) {
+        throw UsageError(cmd_, "missing value for --" + key.substr(2));
       }
       values_[key.substr(2)] = argv[++i];
     }
   }
 
+  /// Rejects any flag outside `allowed` plus the common execution /
+  /// observability set; the error lists what the command supports.
+  void allow_only(const std::vector<std::string>& allowed) const {
+    for (const auto& [key, value] : values_) {
+      (void)value;
+      bool known = std::find(std::begin(kCommonFlags),
+                             std::end(kCommonFlags),
+                             key) != std::end(kCommonFlags);
+      known = known || std::find(allowed.begin(), allowed.end(), key) !=
+                           allowed.end();
+      if (known) continue;
+      std::string msg = "unknown flag --" + key + " (supported:";
+      for (const auto& f : allowed) msg += " --" + f;
+      for (const auto* f : kCommonFlags) msg += std::string(" --") + f;
+      msg += ")";
+      throw UsageError(cmd_, msg);
+    }
+  }
+
+  /// Range guard: throws a UsageError naming the flag when `ok` is false.
+  void require(bool ok, const std::string& flag,
+               const std::string& constraint) const {
+    if (!ok) {
+      throw UsageError(cmd_, "--" + flag + " must be " + constraint);
+    }
+  }
+
   [[nodiscard]] double number(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    return parse_number(cmd_, key, it->second);
+  }
+
+  [[nodiscard]] long long integer(const std::string& key,
+                                  long long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return parse_integer(cmd_, key, it->second);
   }
 
   [[nodiscard]] std::string text(const std::string& key,
@@ -69,23 +162,32 @@ class Args {
     return values_.count(key) > 0;
   }
 
-  /// Comma-separated list flag ("--ks 2,9,20"); empty when absent.
+  /// Comma-separated list flag ("--ks 2,9,20"); empty when absent. An
+  /// empty field ("2,,9", a trailing comma, or an empty value) is an
+  /// error — it used to parse as a silent 0.
   [[nodiscard]] std::vector<double> numbers(const std::string& key) const {
     std::vector<double> out;
     const auto it = values_.find(key);
     if (it == values_.end()) return out;
     const std::string& text = it->second;
     std::size_t pos = 0;
-    while (pos < text.size()) {
+    while (true) {
       std::size_t comma = text.find(',', pos);
       if (comma == std::string::npos) comma = text.size();
-      out.push_back(std::atof(text.substr(pos, comma - pos).c_str()));
+      const std::string field = text.substr(pos, comma - pos);
+      if (field.empty()) {
+        throw UsageError(
+            cmd_, "empty field in --" + key + " list: '" + text + "'");
+      }
+      out.push_back(parse_number(cmd_, key, field));
+      if (comma == text.size()) break;
       pos = comma + 1;
     }
     return out;
   }
 
  private:
+  std::string cmd_;
   std::map<std::string, std::string> values_;
 };
 
@@ -94,30 +196,47 @@ class Args {
 ///   --cache 0|1   solver memoization (default on)
 void apply_execution_flags(const Args& args) {
   if (args.has("threads")) {
-    const double t = args.number("threads", 0.0);
-    if (t < 1.0) {
-      throw std::invalid_argument("--threads must be >= 1");
-    }
+    const long long t = args.integer("threads", 0);
+    args.require(t >= 1, "threads", ">= 1");
     par::set_global_thread_count(static_cast<unsigned>(t));
   }
-  queueing::SolverCache::global().set_enabled(
-      args.number("cache", 1.0) != 0.0);
+  const long long cache = args.integer("cache", 1);
+  args.require(cache == 0 || cache == 1, "cache", "0 or 1");
+  queueing::SolverCache::global().set_enabled(cache == 1);
 }
 
 core::AccessScenario scenario_from(const Args& args) {
   core::AccessScenario s;
-  s.erlang_k = static_cast<int>(args.number("k", 9));
+  const long long k = args.integer("k", 9);
+  args.require(k >= 1 && k <= 512, "k", "an integer in [1, 512]");
+  s.erlang_k = static_cast<int>(k);
   s.tick_ms = args.number("tick", 40.0);
   s.server_packet_bytes = args.number("ps", 125.0);
   s.client_packet_bytes = args.number("pc", 80.0);
   s.bottleneck_bps = args.number("c", 5.0) * 1e6;
   s.uplink_bps = args.number("rup", 128.0) * 1e3;
   s.downlink_bps = args.number("rdown", 1024.0) * 1e3;
+  args.require(s.tick_ms > 0.0, "tick", "> 0");
+  args.require(s.server_packet_bytes > 0.0, "ps", "> 0");
+  args.require(s.client_packet_bytes > 0.0, "pc", "> 0");
+  args.require(s.bottleneck_bps > 0.0, "c", "> 0");
+  args.require(s.uplink_bps > 0.0, "rup", "> 0");
+  args.require(s.downlink_bps > 0.0, "rdown", "> 0");
   s.propagation_ms = args.number("prop", 0.0);
   s.server_processing_ms = args.number("proc", 0.0);
   s.tick_jitter_cov = args.number("jitter", 0.0);
+  args.require(s.propagation_ms >= 0.0, "prop", ">= 0");
+  args.require(s.server_processing_ms >= 0.0, "proc", ">= 0");
+  args.require(s.tick_jitter_cov >= 0.0, "jitter", ">= 0");
   s.validate();
   return s;
+}
+
+/// The epsilon flag shared by the analytic commands.
+double epsilon_from(const Args& args) {
+  const double eps = args.number("eps", 1e-5);
+  args.require(eps > 0.0 && eps < 1.0, "eps", "in (0, 1)");
+  return eps;
 }
 
 void print_scenario(const core::AccessScenario& s) {
@@ -131,7 +250,8 @@ void print_scenario(const core::AccessScenario& s) {
 int cmd_rtt(const Args& args) {
   const auto s = scenario_from(args);
   const double n = args.number("gamers", 60.0);
-  const double eps = args.number("eps", 1e-5);
+  args.require(n > 0.0, "gamers", "> 0");
+  const double eps = epsilon_from(args);
   const core::RttModel m{s, n};
   print_scenario(s);
   const auto b = m.breakdown_ms(eps);
@@ -148,30 +268,43 @@ int cmd_rtt(const Args& args) {
 
 int cmd_dimension(const Args& args) {
   const auto s = scenario_from(args);
-  const double eps = args.number("eps", 1e-5);
+  const double eps = epsilon_from(args);
   if (args.has("ks") || args.has("bounds")) {
-    // Table-4 grid mode: every (K, bound) cell, in parallel.
+    // Table-4 grid mode: every (K, bound) cell, in parallel. A cell
+    // whose solver fails is flagged in the output instead of aborting
+    // the other cells (see docs/ROBUSTNESS.md).
     core::DimensioningTableSpec spec;
     spec.scenario = s;
     for (const double k : args.numbers("ks")) {
+      args.require(k >= 1.0 && k == std::floor(k), "ks",
+                   "a list of integers >= 1");
       spec.ks.push_back(static_cast<int>(k));
     }
     if (spec.ks.empty()) spec.ks.push_back(s.erlang_k);
     spec.rtt_bounds_ms = args.numbers("bounds");
+    for (const double b : spec.rtt_bounds_ms) {
+      args.require(b > 0.0, "bounds", "a list of bounds > 0 [ms]");
+    }
     if (spec.rtt_bounds_ms.empty()) {
       spec.rtt_bounds_ms.push_back(args.number("bound", 50.0));
     }
     spec.epsilon = eps;
     print_scenario(s);
-    std::printf("k,bound_ms,max_load,max_gamers,rtt_at_max_ms\n");
+    std::printf("k,bound_ms,max_load,max_gamers,rtt_at_max_ms,status\n");
     for (const auto& cell : core::dimension_table(spec)) {
-      std::printf("%d,%.0f,%.4f,%d,%.2f\n", cell.erlang_k,
+      if (cell.failed) {
+        std::printf("%d,%.0f,,,,failed:%s\n", cell.erlang_k,
+                    cell.rtt_bound_ms, err::code_name(cell.error));
+        continue;
+      }
+      std::printf("%d,%.0f,%.4f,%d,%.2f,ok\n", cell.erlang_k,
                   cell.rtt_bound_ms, cell.result.rho_max,
                   cell.result.n_max_int, cell.result.rtt_at_max_ms);
     }
     return 0;
   }
   const double bound = args.number("bound", 50.0);
+  args.require(bound > 0.0, "bound", "> 0 [ms]");
   const auto d = core::dimension_for_rtt(s, bound, eps);
   print_scenario(s);
   std::printf("RTT(%g) <= %.0f ms:  max load %.1f%%  max gamers %d  "
@@ -184,8 +317,9 @@ int cmd_sweep(const Args& args) {
   const auto s = scenario_from(args);
   core::RttSweepSpec spec;
   spec.scenario = s;
-  spec.epsilon = args.number("eps", 1e-5);
+  spec.epsilon = epsilon_from(args);
   const double step = args.number("step", 0.05);
+  args.require(step > 0.0 && step < 0.95, "step", "in (0, 0.95)");
   std::vector<double> loads;
   for (double rho = step; rho < 0.95; rho += step) {
     const double n = s.clients_for_downlink_load(rho);
@@ -195,10 +329,16 @@ int cmd_sweep(const Args& args) {
   }
   const auto points = core::sweep_rtt_quantiles(spec);
   print_scenario(s);
-  std::printf("load,gamers,rtt_quantile_ms,rtt_mean_ms\n");
+  std::printf("load,gamers,rtt_quantile_ms,rtt_mean_ms,status\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
-    std::printf("%.3f,%.1f,%.2f,%.2f\n", loads[i], points[i].n_clients,
-                points[i].rtt_quantile_ms, points[i].rtt_mean_ms);
+    // "bound" marks a point served by the Kingman fallback after a
+    // solver failure; "failed" means not even the bound applied.
+    const char* status = points[i].failed         ? "failed"
+                         : points[i].fallback_bound ? "bound"
+                                                    : "exact";
+    std::printf("%.3f,%.1f,%.2f,%.2f,%s\n", loads[i],
+                points[i].n_clients, points[i].rtt_quantile_ms,
+                points[i].rtt_mean_ms, status);
   }
   return 0;
 }
@@ -218,12 +358,18 @@ traffic::GameProfile profile_by_name(const std::string& name, int players) {
 }
 
 int cmd_generate(const Args& args) {
-  const int players = static_cast<int>(args.number("players", 12));
+  const long long players_ll = args.integer("players", 12);
+  args.require(players_ll >= 1 && players_ll <= 10000, "players",
+               "an integer in [1, 10000]");
+  const int players = static_cast<int>(players_ll);
   const auto profile = profile_by_name(args.text("game", "ut"), players);
   traffic::SyntheticTraceOptions opt;
   opt.clients = players;
   opt.duration_s = args.number("duration", 360.0);
-  opt.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  args.require(opt.duration_s > 0.0, "duration", "> 0 [s]");
+  const long long seed = args.integer("seed", 1);
+  args.require(seed >= 0, "seed", ">= 0");
+  opt.seed = static_cast<std::uint64_t>(seed);
   const auto t = traffic::generate_trace(profile, opt);
   const std::string out = args.text("out", "trace.csv");
   trace::write_csv_file(out, t);
@@ -232,18 +378,22 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+std::uint16_t server_port_from(const Args& args) {
+  const long long port = args.integer("server-port", 27015);
+  args.require(port >= 1 && port <= 65535, "server-port",
+               "an integer in [1, 65535]");
+  return static_cast<std::uint16_t>(port);
+}
+
 int cmd_analyze(const Args& args) {
   const std::string in = args.text("in");
-  if (in.empty()) {
-    throw std::invalid_argument("analyze needs --in FILE");
-  }
+  args.require(!in.empty(), "in", "given (a trace FILE to analyze)");
   trace::Trace t;
   if (args.has("pcap")) {
     trace::PcapReadOptions popt;
     popt.server.ipv4 =
         trace::ServerEndpoint::parse_ipv4(args.text("server-ip"));
-    popt.server.port =
-        static_cast<std::uint16_t>(args.number("server-port", 27015));
+    popt.server.port = server_port_from(args);
     trace::PcapReadStats stats;
     t = trace::read_pcap_file(in, popt, &stats);
     std::printf("# pcap: %llu frames, %llu matched, %llu skipped\n",
@@ -255,6 +405,7 @@ int cmd_analyze(const Args& args) {
   }
   trace::AnalyzerOptions a;
   a.gap_threshold_s = args.number("gap-ms", 8.0) * 1e-3;
+  args.require(a.gap_threshold_s > 0.0, "gap-ms", "> 0");
   const auto c = trace::analyze(t, a);
   std::printf("packets %zu, duration %.1f s, clients %zu\n", t.size(),
               t.duration_s(), t.flow_count(trace::Direction::kClientToServer));
@@ -288,8 +439,11 @@ int cmd_report(const Args& args) {
   const auto s = scenario_from(args);
   core::ReportOptions opt;
   opt.n_clients = args.number("gamers", 60.0);
-  opt.epsilon = args.number("eps", 1e-5);
-  opt.include_telemetry = args.number("telemetry", 0.0) != 0.0;
+  args.require(opt.n_clients > 0.0, "gamers", "> 0");
+  opt.epsilon = epsilon_from(args);
+  const long long telemetry = args.integer("telemetry", 0);
+  args.require(telemetry == 0 || telemetry == 1, "telemetry", "0 or 1");
+  opt.include_telemetry = telemetry == 1;
   std::fputs(core::scenario_report_markdown(s, opt).c_str(), stdout);
   return 0;
 }
@@ -297,7 +451,8 @@ int cmd_report(const Args& args) {
 int cmd_profile(const Args& args) {
   const auto s = scenario_from(args);
   const double n = args.number("gamers", 60.0);
-  const double eps = args.number("eps", 1e-5);
+  args.require(n > 0.0, "gamers", "> 0");
+  const double eps = epsilon_from(args);
   print_scenario(s);
   // Analytic stack: quantile + breakdown exercise the full solver chain
   // (fixed-point pole searches, M/D/1 dominant pole, convolutions).
@@ -307,8 +462,11 @@ int cmd_profile(const Args& args) {
   // Simulation stack: a short packet-level run for event-loop stats.
   core::ValidationOptions vopt;
   vopt.duration_s = args.number("duration", 10.0);
+  args.require(vopt.duration_s > 0.0, "duration", "> 0 [s]");
   vopt.warmup_s = std::min(2.0, 0.25 * vopt.duration_s);
-  vopt.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const long long seed = args.integer("seed", 1);
+  args.require(seed >= 0, "seed", ">= 0");
+  vopt.seed = static_cast<std::uint64_t>(seed);
   (void)core::validate_point(s, static_cast<int>(n), vopt);
   obs::ensure_baseline_schema();
   std::fputs(
@@ -320,15 +478,12 @@ int cmd_profile(const Args& args) {
 
 trace::Trace load_trace(const Args& args) {
   const std::string in = args.text("in");
-  if (in.empty()) {
-    throw std::invalid_argument("need --in FILE");
-  }
+  args.require(!in.empty(), "in", "given (a trace FILE to replay)");
   if (args.has("pcap")) {
     trace::PcapReadOptions popt;
     popt.server.ipv4 =
         trace::ServerEndpoint::parse_ipv4(args.text("server-ip"));
-    popt.server.port =
-        static_cast<std::uint16_t>(args.number("server-port", 27015));
+    popt.server.port = server_port_from(args);
     return trace::read_pcap_file(in, popt);
   }
   return trace::read_csv_file(in);
@@ -341,9 +496,14 @@ int cmd_replay(const Args& args) {
   cfg.uplink_bps = args.number("rup", 128.0) * 1e3;
   cfg.downlink_bps = args.number("rdown", 1024.0) * 1e3;
   cfg.warmup_s = args.number("warmup", 2.0);
+  args.require(cfg.bottleneck_bps > 0.0, "c", "> 0");
+  args.require(cfg.uplink_bps > 0.0, "rup", "> 0");
+  args.require(cfg.downlink_bps > 0.0, "rdown", "> 0");
+  args.require(cfg.warmup_s >= 0.0, "warmup", ">= 0");
   if (args.has("buffer")) {
-    cfg.bottleneck_buffer_packets =
-        static_cast<std::size_t>(args.number("buffer", 0.0));
+    const long long buffer = args.integer("buffer", 0);
+    args.require(buffer >= 0, "buffer", "an integer >= 0 [packets]");
+    cfg.bottleneck_buffer_packets = static_cast<std::size_t>(buffer);
   }
   const auto r = sim::replay_trace(t, cfg);
   std::printf("replayed %zu packets (C = %.1f Mb/s, Rup = %.0f kb/s, "
@@ -372,13 +532,21 @@ int cmd_validate(const Args& args) {
   const auto s = scenario_from(args);
   core::ValidationOptions opt;
   opt.quantile_prob = args.number("prob", 0.999);
+  args.require(opt.quantile_prob > 0.0 && opt.quantile_prob < 1.0, "prob",
+               "in (0, 1)");
   opt.duration_s = args.number("duration", 120.0);
-  opt.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  args.require(opt.duration_s > 0.0, "duration", "> 0 [s]");
+  const long long seed = args.integer("seed", 1);
+  args.require(seed >= 0, "seed", ">= 0");
+  opt.seed = static_cast<std::uint64_t>(seed);
   const double rho = args.number("load", 0.5);
+  args.require(rho > 0.0 && rho < 1.0, "load", "in (0, 1)");
   const int n = std::max(
       1, static_cast<int>(s.clients_for_downlink_load(rho)));
   print_scenario(s);
-  const auto reps = static_cast<std::size_t>(args.number("reps", 1.0));
+  const long long reps_ll = args.integer("reps", 1);
+  args.require(reps_ll >= 1, "reps", "an integer >= 1");
+  const auto reps = static_cast<std::size_t>(reps_ll);
   if (reps > 1) {
     // Independent replications in parallel (counter-based seeds), with
     // across-replication spread for the simulated quantiles.
@@ -436,80 +604,135 @@ int cmd_validate(const Args& args) {
   return 0;
 }
 
-int cmd_help(const std::string& topic) {
+/// Per-command usage text, shared by `fpsq help <cmd>` and the parse
+/// error path (which prints it to stderr under the error message). An
+/// unknown topic gets the general synopsis.
+const char* usage_text(const std::string& topic) {
   if (topic == "rtt") {
-    std::printf(
-        "fpsq rtt --gamers N [--eps 1e-5] [scenario flags]\n"
-        "  ping-time quantile and per-component breakdown\n");
-  } else if (topic == "dimension") {
-    std::printf(
-        "fpsq dimension --bound MS [--eps 1e-5] [scenario flags]\n"
-        "  largest load / gamer count meeting the RTT bound\n"
-        "  grid mode (Table-4 style, parallel): --ks 2,9,20"
-        " --bounds 50,100\n");
-  } else if (topic == "sweep") {
-    std::printf(
-        "fpsq sweep [--step 0.05] [--eps 1e-5] [scenario flags]\n"
-        "  CSV of RTT quantiles vs load (Figure-3 style), evaluated in\n"
-        "  parallel on --threads workers\n");
-  } else if (topic == "generate") {
-    std::printf(
-        "fpsq generate --game cs|halflife|quake3|halo|ut\n"
-        "              [--players 12] [--duration 360] [--seed 1]\n"
-        "              [--out trace.csv]\n");
-  } else if (topic == "analyze") {
-    std::printf(
-        "fpsq analyze --in FILE [--gap-ms 8]\n"
-        "             [--pcap 1 --server-ip A.B.C.D --server-port P]\n"
-        "  Section-2.2 statistics and Erlang-order fits\n");
-  } else if (topic == "replay") {
-    std::printf(
-        "fpsq replay --in FILE [--pcap 1 --server-ip A.B.C.D"
-        " --server-port P]\n"
-        "            [--c 5] [--rup 128] [--rdown 1024] [--warmup 2]\n"
-        "            [--buffer N]\n"
-        "  trace-driven simulation: the delays this recorded session"
-        " would\n  see on the given access network\n");
-  } else if (topic == "validate") {
-    std::printf(
-        "fpsq validate [--load 0.5] [--duration 120] [--prob 0.999]\n"
-        "              [--seed 1] [--reps 1] [scenario flags]\n"
-        "  analytic model vs packet-level simulation; --reps R > 1 runs\n"
-        "  R independent replications in parallel and reports the\n"
-        "  across-replication spread\n");
-  } else if (topic == "profile") {
-    std::printf(
-        "fpsq profile [--gamers 60] [--duration 10] [--seed 1]\n"
-        "             [scenario flags]\n"
-        "  runs the analytic solvers and a short simulation, then prints\n"
-        "  the solver/simulator telemetry summary\n");
-  } else {
-    std::printf(
-        "fpsq <command> [--flag value ...]\n\n"
-        "commands: rtt report dimension sweep generate analyze replay"
-        " validate profile help\n\n"
-        "scenario flags (defaults = paper Section 4):\n"
-        "  --k 9          burst-size Erlang order\n"
-        "  --tick 40      tick interval T [ms]\n"
-        "  --ps 125       mean server packet size P_S [bytes]\n"
-        "  --pc 80        client packet size P_C [bytes]\n"
-        "  --c 5          gaming bottleneck capacity C [Mb/s]\n"
-        "  --rup 128      access uplink [kb/s]\n"
-        "  --rdown 1024   access downlink [kb/s]\n"
-        "  --prop 0       one-way propagation [ms]\n"
-        "  --proc 0       server processing [ms]\n"
-        "  --jitter 0     server tick CoV (0 = paper's Det ticks;\n"
-        "                 > 0 uses the exact GI/E_K/1 model)\n\n"
-        "execution flags (every command):\n"
-        "  --threads N          worker threads for sweeps/grids/reps\n"
-        "                       (default: FPSQ_THREADS env, else cores)\n"
-        "  --cache 0|1          solver memoization (default 1)\n\n"
-        "observability flags (every command):\n"
-        "  --metrics-out FILE   write solver/simulator metrics JSON\n"
-        "  --trace-out FILE     record spans, write Chrome trace JSON\n\n"
-        "`fpsq help <command>` shows command-specific flags.\n");
+    return "fpsq rtt --gamers N [--eps 1e-5] [scenario flags]\n"
+           "  ping-time quantile and per-component breakdown\n";
   }
+  if (topic == "dimension") {
+    return "fpsq dimension --bound MS [--eps 1e-5] [scenario flags]\n"
+           "  largest load / gamer count meeting the RTT bound\n"
+           "  grid mode (Table-4 style, parallel): --ks 2,9,20"
+           " --bounds 50,100\n"
+           "  (a failed grid cell is flagged in the status column,\n"
+           "   the rest of the table is unaffected)\n";
+  }
+  if (topic == "sweep") {
+    return "fpsq sweep [--step 0.05] [--eps 1e-5] [scenario flags]\n"
+           "  CSV of RTT quantiles vs load (Figure-3 style), evaluated in\n"
+           "  parallel on --threads workers; the status column reports\n"
+           "  exact | bound (Kingman fallback) | failed per point\n";
+  }
+  if (topic == "report") {
+    return "fpsq report --gamers N [--eps 1e-5] [--telemetry 0|1]\n"
+           "            [scenario flags]\n"
+           "  Markdown scenario report\n";
+  }
+  if (topic == "generate") {
+    return "fpsq generate --game cs|halflife|quake3|halo|ut\n"
+           "              [--players 12] [--duration 360] [--seed 1]\n"
+           "              [--out trace.csv]\n";
+  }
+  if (topic == "analyze") {
+    return "fpsq analyze --in FILE [--gap-ms 8]\n"
+           "             [--pcap 1 --server-ip A.B.C.D --server-port P]\n"
+           "  Section-2.2 statistics and Erlang-order fits\n";
+  }
+  if (topic == "replay") {
+    return "fpsq replay --in FILE [--pcap 1 --server-ip A.B.C.D"
+           " --server-port P]\n"
+           "            [--c 5] [--rup 128] [--rdown 1024] [--warmup 2]\n"
+           "            [--buffer N]\n"
+           "  trace-driven simulation: the delays this recorded session"
+           " would\n  see on the given access network\n";
+  }
+  if (topic == "validate") {
+    return "fpsq validate [--load 0.5] [--duration 120] [--prob 0.999]\n"
+           "              [--seed 1] [--reps 1] [scenario flags]\n"
+           "  analytic model vs packet-level simulation; --reps R > 1 runs\n"
+           "  R independent replications in parallel and reports the\n"
+           "  across-replication spread\n";
+  }
+  if (topic == "profile") {
+    return "fpsq profile [--gamers 60] [--duration 10] [--seed 1]\n"
+           "             [scenario flags]\n"
+           "  runs the analytic solvers and a short simulation, then prints\n"
+           "  the solver/simulator telemetry summary\n";
+  }
+  return "fpsq <command> [--flag value ...]\n\n"
+         "commands: rtt report dimension sweep generate analyze replay"
+         " validate profile help\n\n"
+         "scenario flags (defaults = paper Section 4):\n"
+         "  --k 9          burst-size Erlang order\n"
+         "  --tick 40      tick interval T [ms]\n"
+         "  --ps 125       mean server packet size P_S [bytes]\n"
+         "  --pc 80        client packet size P_C [bytes]\n"
+         "  --c 5          gaming bottleneck capacity C [Mb/s]\n"
+         "  --rup 128      access uplink [kb/s]\n"
+         "  --rdown 1024   access downlink [kb/s]\n"
+         "  --prop 0       one-way propagation [ms]\n"
+         "  --proc 0       server processing [ms]\n"
+         "  --jitter 0     server tick CoV (0 = paper's Det ticks;\n"
+         "                 > 0 uses the exact GI/E_K/1 model)\n\n"
+         "execution flags (every command):\n"
+         "  --threads N          worker threads for sweeps/grids/reps\n"
+         "                       (default: FPSQ_THREADS env, else cores)\n"
+         "  --cache 0|1          solver memoization (default 1)\n\n"
+         "observability flags (every command):\n"
+         "  --metrics-out FILE   write solver/simulator metrics JSON\n"
+         "  --trace-out FILE     record spans, write Chrome trace JSON\n\n"
+         "`fpsq help <command>` shows command-specific flags.\n";
+}
+
+int cmd_help(const std::string& topic) {
+  std::fputs(usage_text(topic), stdout);
   return 0;
+}
+
+/// The command-specific flags each subcommand accepts (the common
+/// execution/observability flags are implied); used by Args::allow_only
+/// so a typoed flag fails loudly instead of silently using the default.
+std::vector<std::string> flags_for(const std::string& cmd) {
+  static const std::vector<std::string> kScenarioFlags = {
+      "k",   "tick", "ps",   "pc",   "c",
+      "rup", "rdown", "prop", "proc", "jitter"};
+  auto with_scenario = [](std::initializer_list<const char*> extra) {
+    std::vector<std::string> out = kScenarioFlags;
+    out.insert(out.end(), extra.begin(), extra.end());
+    return out;
+  };
+  if (cmd == "rtt") return with_scenario({"gamers", "eps"});
+  if (cmd == "report") return with_scenario({"gamers", "eps", "telemetry"});
+  if (cmd == "dimension") {
+    return with_scenario({"eps", "bound", "ks", "bounds"});
+  }
+  if (cmd == "sweep") return with_scenario({"eps", "step"});
+  if (cmd == "generate") {
+    return {"game", "players", "duration", "seed", "out"};
+  }
+  if (cmd == "analyze") {
+    return {"in", "gap-ms", "pcap", "server-ip", "server-port"};
+  }
+  if (cmd == "replay") {
+    return {"in",  "pcap",  "server-ip", "server-port", "c",
+            "rup", "rdown", "warmup",    "buffer"};
+  }
+  if (cmd == "validate") {
+    return with_scenario({"load", "duration", "prob", "seed", "reps"});
+  }
+  if (cmd == "profile") {
+    return with_scenario({"gamers", "duration", "seed", "eps"});
+  }
+  return {};
+}
+
+bool is_command(const std::string& cmd) {
+  return cmd == "rtt" || cmd == "report" || cmd == "dimension" ||
+         cmd == "sweep" || cmd == "generate" || cmd == "analyze" ||
+         cmd == "replay" || cmd == "validate" || cmd == "profile";
 }
 
 int dispatch(const std::string& cmd, const Args& args) {
@@ -558,11 +781,17 @@ int main(int argc, char** argv) {
     return cmd_help("");
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    return cmd_help(argc > 2 ? argv[2] : "");
+  }
+  if (!is_command(cmd)) {
+    std::fprintf(stderr, "fpsq: unknown command '%s'\n\n%s", cmd.c_str(),
+                 usage_text(""));
+    return 2;
+  }
   try {
-    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
-      return cmd_help(argc > 2 ? argv[2] : "");
-    }
-    const Args args{argc, argv, 2};
+    const Args args{cmd, argc, argv, 2};
+    args.allow_only(flags_for(cmd));
     apply_execution_flags(args);
     if (args.has("trace-out")) {
       obs::TraceRecorder::global().set_enabled(true);
@@ -576,6 +805,10 @@ int main(int argc, char** argv) {
     }
     const int obs_rc = export_observability(args);
     return rc != 0 ? rc : obs_rc;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "fpsq %s: %s\n\nusage:\n%s", cmd.c_str(),
+                 e.what(), usage_text(e.command()));
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fpsq %s: %s\n", cmd.c_str(), e.what());
     return 1;
