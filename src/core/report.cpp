@@ -4,6 +4,7 @@
 
 #include "core/playability.h"
 #include "core/rtt_model.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 
 namespace fpsq::core {
@@ -72,6 +73,17 @@ std::string scenario_report_markdown(const AccessScenario& scenario,
     os << "## Telemetry\n\n";
     os << obs::render_summary(obs::MetricsRegistry::global().snapshot());
     os << "\n";
+  }
+  {
+    const auto& m = obs::RunManifest::current();
+    os << "## Run manifest\n\n";
+    os << "| git sha | build | compiler | sanitizer | threads | cache |\n";
+    os << "|---|---|---|---|---|---|\n";
+    os << "| " << m.git_sha << " | " << m.build_type << " | " << m.compiler
+       << " | " << m.sanitizer << " | " << m.threads << " | "
+       << (m.cache_enabled ? "on" : "off") << " |\n\n";
+    os << "_Generated " << m.timestamp_utc << " on " << m.hostname
+       << " (schema " << m.schema << ")._\n\n";
   }
   os << "_Model: Degrande, De Vleeschauwer, Kooij, Mandjes — Modeling "
         "Ping times in First Person Shooter games (CWI PNA-R0608, "

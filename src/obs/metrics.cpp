@@ -13,6 +13,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/json.h"
+#include "obs/manifest.h"
+
 namespace fpsq::obs {
 
 namespace {
@@ -119,53 +122,61 @@ const char* kind_name(Kind k) {
   return "?";
 }
 
-void json_escape_to(std::string& out, std::string_view s) {
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(ch));
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-}
-
-void json_number_to(std::string& out, double v) {
-  if (!std::isfinite(v)) {
-    out += "null";
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
-
 }  // namespace
 
 // ---- Histogram bucketing -------------------------------------------------
 
 int Histogram::bucket_index(double v) noexcept {
-  // Decade grid: bucket 0 is the underflow (v < 1e-18, incl. <= 0),
-  // bucket 37 the overflow (v >= 1e18), bucket i in between covers
-  // [10^(i-19), 10^(i-18)).
+  // Log-linear grid: bucket 0 is the underflow (v < 1e-18, incl. <= 0),
+  // the last bucket the overflow (v >= 1e18); in between, decade e
+  // (e in [-18, 17]) is split into 9 linear sub-buckets
+  // [m*10^e, (m+1)*10^e) for m = 1..9.
   if (!(v >= 1e-18)) return 0;  // also catches NaN
   if (v >= 1e18) return kBuckets - 1;
-  const int i = 19 + static_cast<int>(std::floor(std::log10(v)));
-  return std::clamp(i, 1, kBuckets - 2);
+  int e = static_cast<int>(std::floor(std::log10(v)));
+  e = std::clamp(e, -kDecades / 2 - 1, kDecades / 2);
+  int m = static_cast<int>(v / std::pow(10.0, e));
+  if (m < 1) {
+    // v sits just below 10^e but log10 rounded up: top sub-bucket of
+    // the previous decade.
+    m = kSubBuckets;
+    --e;
+  } else if (m > kSubBuckets) {
+    // v sits at/above 10^(e+1) but log10 rounded down.
+    m = 1;
+    ++e;
+  }
+  if (e < -kDecades / 2) return 0;
+  if (e >= kDecades / 2) return kBuckets - 1;
+  int i = 1 + (e + kDecades / 2) * kSubBuckets + (m - 1);
+  // m*10^e is recomputed from (e, m) in bucket_lower_bound and can land
+  // an ulp away from v's own rounding; nudge so the [lower, upper)
+  // contract holds exactly for the bounds the snapshot will report.
+  if (v < bucket_lower_bound(i) && i > 1) {
+    --i;
+  } else if (v >= bucket_upper_bound(i) && i < kBuckets - 1) {
+    ++i;
+  }
+  return i;
 }
 
 double Histogram::bucket_lower_bound(int i) {
   if (i <= 0) return 0.0;
-  return std::pow(10.0, i - 19);
+  if (i >= kBuckets - 1) return 1e18;
+  const int idx = i - 1;
+  const int e = idx / kSubBuckets - kDecades / 2;
+  const int m = idx % kSubBuckets + 1;
+  return static_cast<double>(m) * std::pow(10.0, e);
+}
+
+double Histogram::bucket_upper_bound(int i) {
+  if (i <= 0) return 1e-18;
+  if (i >= kBuckets - 1) return kInf;
+  const int idx = i - 1;
+  const int e = idx / kSubBuckets - kDecades / 2;
+  const int m = idx % kSubBuckets + 1;
+  if (m == kSubBuckets) return std::pow(10.0, e + 1);
+  return static_cast<double>(m + 1) * std::pow(10.0, e);
 }
 
 // ---- registry internals --------------------------------------------------
@@ -416,8 +427,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         }
         for (int i = 0; i < Histogram::kBuckets; ++i) {
           if (agg.buckets[i] > 0) {
-            h.buckets.emplace_back(Histogram::bucket_lower_bound(i),
-                                   agg.buckets[i]);
+            h.buckets.push_back({Histogram::bucket_lower_bound(i),
+                                 Histogram::bucket_upper_bound(i),
+                                 agg.buckets[i]});
           }
         }
         out.histograms.push_back(std::move(h));
@@ -468,16 +480,48 @@ std::size_t MetricsRegistry::metric_count() const {
   return impl_->metrics.size();
 }
 
+// ---- quantile estimation -------------------------------------------------
+
+double MetricsSnapshot::HistogramValue::quantile(double q) const {
+  // An empty histogram has no quantiles; NaN serializes as JSON null.
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const Bucket& b = buckets[i];
+    if (b.count == 0) continue;
+    const double next = cum + static_cast<double>(b.count);
+    if (next >= target) {
+      // Linear interpolation within the bucket, clamped to the observed
+      // range so the underflow (lower = 0) and overflow (upper = inf)
+      // buckets stay finite and the estimate never leaves [min, max].
+      double lo = std::max(b.lower, min);
+      double hi = std::min(b.upper, max);
+      if (i == 0 && b.lower == 0.0) lo = min;  // underflow: true floor
+      if (!(hi >= lo)) hi = lo;
+      const double frac = (target - cum) / static_cast<double>(b.count);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return max;
+}
+
 // ---- export --------------------------------------------------------------
 
 std::string MetricsSnapshot::to_json() const {
   std::string out;
   out.reserve(4096);
-  out += "{\n  \"schema\": \"fpsq.metrics.v1\",\n  \"counters\": {";
+  out += "{\n  \"schema\": \"fpsq.metrics.v2\",\n  \"manifest\": ";
+  out += RunManifest::current().to_json();
+  out += ",\n  \"counters\": {";
   for (std::size_t i = 0; i < counters.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
     out += "    \"";
-    json_escape_to(out, counters[i].name);
+    json::escape_to(out, counters[i].name);
     out += "\": " + std::to_string(counters[i].value);
   }
   out += counters.empty() ? "}" : "\n  }";
@@ -485,9 +529,9 @@ std::string MetricsSnapshot::to_json() const {
   for (std::size_t i = 0; i < gauges.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
     out += "    \"";
-    json_escape_to(out, gauges[i].name);
+    json::escape_to(out, gauges[i].name);
     out += "\": ";
-    json_number_to(out, gauges[i].ever_set ? gauges[i].value : 0.0);
+    json::number_to(out, gauges[i].ever_set ? gauges[i].value : 0.0);
   }
   out += gauges.empty() ? "}" : "\n  }";
   out += ",\n  \"histograms\": {";
@@ -495,22 +539,30 @@ std::string MetricsSnapshot::to_json() const {
     const auto& h = histograms[i];
     out += i == 0 ? "\n" : ",\n";
     out += "    \"";
-    json_escape_to(out, h.name);
+    json::escape_to(out, h.name);
     out += "\": {\"count\": " + std::to_string(h.count);
     out += ", \"sum\": ";
-    json_number_to(out, h.sum);
+    json::number_to(out, h.sum);
     out += ", \"min\": ";
-    json_number_to(out, h.count > 0 ? h.min : 0.0);
+    json::number_to(out, h.count > 0 ? h.min : 0.0);
     out += ", \"max\": ";
-    json_number_to(out, h.count > 0 ? h.max : 0.0);
+    json::number_to(out, h.count > 0 ? h.max : 0.0);
     out += ", \"mean\": ";
-    json_number_to(out, h.mean());
+    json::number_to(out, h.mean());
+    out += ", \"p50\": ";
+    json::number_to(out, h.quantile(0.50));
+    out += ", \"p90\": ";
+    json::number_to(out, h.quantile(0.90));
+    out += ", \"p99\": ";
+    json::number_to(out, h.quantile(0.99));
     out += ", \"buckets\": [";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       if (b > 0) out += ", ";
       out += "[";
-      json_number_to(out, h.buckets[b].first);
-      out += ", " + std::to_string(h.buckets[b].second) + "]";
+      json::number_to(out, h.buckets[b].lower);
+      out += ", ";
+      json::number_to(out, h.buckets[b].upper);
+      out += ", " + std::to_string(h.buckets[b].count) + "]";
     }
     out += "]}";
   }
@@ -533,10 +585,12 @@ bool write_metrics_json(const std::string& path,
 std::string render_summary(const MetricsSnapshot& s) {
   std::ostringstream os;
   os.precision(4);
-  os << "| metric | type | count | value/mean | min | max |\n";
-  os << "|---|---|---|---|---|---|\n";
+  os << "| metric | type | count | value/mean | p50 | p90 | p99 | min |"
+        " max |\n";
+  os << "|---|---|---|---|---|---|---|---|---|\n";
   for (const auto& c : s.counters) {
-    os << "| " << c.name << " | counter | " << c.value << " | | | |\n";
+    os << "| " << c.name << " | counter | " << c.value
+       << " | | | | | | |\n";
   }
   for (const auto& g : s.gauges) {
     os << "| " << g.name << " | gauge | | ";
@@ -545,20 +599,21 @@ std::string render_summary(const MetricsSnapshot& s) {
     } else {
       os << "-";
     }
-    os << " | | |\n";
+    os << " | | | | | |\n";
   }
   for (const auto& h : s.histograms) {
     os << "| " << h.name << " | histogram | " << h.count << " | "
        << h.mean() << " | ";
     if (h.count > 0) {
-      os << h.min << " | " << h.max;
+      os << h.quantile(0.50) << " | " << h.quantile(0.90) << " | "
+         << h.quantile(0.99) << " | " << h.min << " | " << h.max;
     } else {
-      os << "- | -";
+      os << "- | - | - | - | -";
     }
     os << " |\n";
   }
   if (s.counters.empty() && s.gauges.empty() && s.histograms.empty()) {
-    os << "| (no metrics recorded) | | | | | |\n";
+    os << "| (no metrics recorded) | | | | | | | | |\n";
   }
   return os.str();
 }

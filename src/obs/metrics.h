@@ -57,17 +57,25 @@ class Gauge {
   std::uint32_t id_ = 0;
 };
 
-/// Handle to a named fixed-bucket histogram. Buckets are one decade wide
-/// and span [1e-18, 1e18) plus an underflow and an overflow bucket, so a
-/// single grid serves iteration counts, residuals and latencies alike.
+/// Handle to a named fixed-bucket histogram on a log-linear grid: 36
+/// decades spanning [1e-18, 1e18), each split into 9 linear sub-buckets
+/// ([m·10^e, (m+1)·10^e) for m = 1..9), plus an underflow and an
+/// overflow bucket. One grid serves iteration counts, residuals and
+/// latencies alike, and the sub-decade resolution bounds the relative
+/// error of interpolated quantiles by one sub-bucket width (< 50%,
+/// typically ~11%; see MetricsSnapshot::HistogramValue::quantile).
 class Histogram {
  public:
   Histogram() = default;
   void record(double v) const noexcept;
 
-  static constexpr int kBuckets = 38;
+  static constexpr int kDecades = 36;      ///< [1e-18, 1e18)
+  static constexpr int kSubBuckets = 9;    ///< linear within a decade
+  static constexpr int kBuckets = kDecades * kSubBuckets + 2;
   /// Inclusive lower bound of bucket `i` (0 for the underflow bucket).
   [[nodiscard]] static double bucket_lower_bound(int i);
+  /// Exclusive upper bound of bucket `i` (+inf for the overflow bucket).
+  [[nodiscard]] static double bucket_upper_bound(int i);
   /// Bucket index for a value.
   [[nodiscard]] static int bucket_index(double v) noexcept;
 
@@ -90,23 +98,36 @@ struct MetricsSnapshot {
     bool ever_set = false;
   };
   struct HistogramValue {
+    struct Bucket {
+      double lower = 0.0;          ///< inclusive
+      double upper = 0.0;          ///< exclusive (+inf for overflow)
+      std::uint64_t count = 0;
+    };
     std::string name;
     std::uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;  ///< meaningful only when count > 0
     double max = 0.0;  ///< meaningful only when count > 0
-    /// (bucket lower bound, count) for non-empty buckets, ascending.
-    std::vector<std::pair<double, std::uint64_t>> buckets;
+    /// Non-empty buckets, ascending by lower bound.
+    std::vector<Bucket> buckets;
     [[nodiscard]] double mean() const {
       return count > 0 ? sum / static_cast<double>(count) : 0.0;
     }
+    /// Interpolated quantile estimate (q in [0, 1]): linear within the
+    /// bucket containing the target rank, clamped to [min, max]. The
+    /// estimate is exact at q = 0 / q = 1 and off by at most one
+    /// sub-decade bucket width elsewhere. Returns NaN when empty
+    /// (serialized as JSON null).
+    [[nodiscard]] double quantile(double q) const;
   };
 
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
 
-  /// Serializes the snapshot as a stable-schema JSON document.
+  /// Serializes the snapshot as a stable-schema JSON document
+  /// (fpsq.metrics.v2): the run manifest, then counters, gauges and
+  /// histograms (with interpolated p50/p90/p99 per histogram).
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -1,0 +1,87 @@
+// fpsq::obs — timeline sampler: a background thread that snapshots the
+// global metrics registry at a fixed interval so long sweeps and
+// simulations can be profiled over time, then writes the series as one
+// JSON document (schema fpsq.timeline.v1).
+//
+// Wired to `--timeline-out FILE [--timeline-interval-ms N]` on every
+// fpsq subcommand. `stop_and_write()` always appends one final sample
+// after the workload finished, so the last entry of the series agrees
+// with the `--metrics-out` snapshot taken at the same point.
+//
+// Under -DFPSQ_NO_METRICS the background thread is compiled out:
+// start() records the configuration but spawns nothing, and
+// stop_and_write() still emits a schema-valid file holding only the
+// (empty-registry) final sample.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fpsq::obs {
+
+class TimelineSampler {
+ public:
+  struct Options {
+    std::string path;
+    double interval_ms = 100.0;
+  };
+
+  TimelineSampler() = default;
+  /// Stops the sampling thread if still running (without writing).
+  ~TimelineSampler();
+
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  /// Starts sampling MetricsRegistry::global() every
+  /// `options.interval_ms`. Returns false (and does nothing) when
+  /// already running or the interval is not positive.
+  bool start(const Options& options);
+
+  /// Stops the sampler, appends one final sample, and writes the full
+  /// series to `options.path`. Returns false on I/O failure or when
+  /// start() was never called. Idempotent: a second call is a no-op
+  /// returning true.
+  bool stop_and_write();
+
+  [[nodiscard]] bool running() const;
+
+  /// Samples collected so far (including the final one after stop).
+  [[nodiscard]] std::size_t sample_count() const;
+
+  /// Serializes the collected series (without writing). Exposed for
+  /// tests; the schema is identical to the file stop_and_write emits.
+  [[nodiscard]] std::string to_json() const;
+
+  /// The process-wide sampler driven by the CLI flags.
+  static TimelineSampler& global();
+
+ private:
+  struct Sample {
+    double t_s = 0.0;  ///< seconds since start()
+    MetricsSnapshot snapshot;
+  };
+
+  void sampling_loop();
+  void append_sample_locked();
+  [[nodiscard]] std::string to_json_locked_unsafe() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  Options options_;
+  std::vector<Sample> samples_;
+  std::chrono::steady_clock::time_point started_at_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace fpsq::obs

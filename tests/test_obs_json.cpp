@@ -1,0 +1,98 @@
+// Tests for fpsq::obs::json — the escape helper shared by every JSON
+// writer in the repo and the recursive-descent parser behind
+// `fpsq benchdiff` and the manifest/timeline round-trip tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using fpsq::obs::json::escape;
+using fpsq::obs::json::number_to;
+using fpsq::obs::json::parse;
+using fpsq::obs::json::Value;
+
+TEST(ObsJson, EscapeControlAndQuoteCharacters) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ObsJson, NumberToSerializesNonFiniteAsNull) {
+  std::string out;
+  number_to(out, 1.5);
+  EXPECT_EQ(out, "1.5");
+  out.clear();
+  number_to(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  number_to(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+}
+
+TEST(ObsJson, ParseScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").boolean);
+  EXPECT_FALSE(parse("false").boolean);
+  EXPECT_DOUBLE_EQ(parse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.25e2").number, -125.0);
+  EXPECT_EQ(parse("\"hi\"").string, "hi");
+}
+
+TEST(ObsJson, ParseStringEscapes) {
+  EXPECT_EQ(parse("\"a\\\"b\\\\c\\n\"").string, "a\"b\\c\n");
+  // \u escapes decode to UTF-8.
+  EXPECT_EQ(parse("\"\\u0041\"").string, "A");
+  EXPECT_EQ(parse("\"\\u00e9\"").string, "\xc3\xa9");
+}
+
+TEST(ObsJson, ParseNestedDocument) {
+  const Value v = parse(
+      R"({"name":"b1","wall_s":0.5,"metrics":{"err":1e-3,"bad":null},)"
+      R"("tags":[1,2,3]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.string_or("name", ""), "b1");
+  EXPECT_DOUBLE_EQ(v.number_or("wall_s", -1.0), 0.5);
+  const Value* metrics = v.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->number_or("err", 0.0), 1e-3);
+  ASSERT_NE(metrics->find("bad"), nullptr);
+  EXPECT_TRUE(metrics->find("bad")->is_null());
+  const Value* tags = v.find("tags");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_EQ(tags->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(tags->array[2].number, 3.0);
+}
+
+TEST(ObsJson, ObjectMemberOrderPreserved) {
+  const Value v = parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(parse("tru"), std::runtime_error);
+  EXPECT_THROW(parse("1 trailing"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(ObsJson, EscapeParseRoundTrip) {
+  const std::string nasty = "q\"b\\s\ncr\rtab\tctl\x02 end";
+  const std::string doc = "\"" + escape(nasty) + "\"";
+  EXPECT_EQ(parse(doc).string, nasty);
+}
+
+}  // namespace

@@ -91,20 +91,31 @@ TEST(ObsMetrics, HistogramBucketGrid) {
   EXPECT_EQ(Histogram::bucket_index(0.0), 0);
   EXPECT_EQ(Histogram::bucket_index(-5.0), 0);
   EXPECT_EQ(Histogram::bucket_index(1e-19), 0);
-  // Decades are half-open [10^k, 10^{k+1}).
+  // Sub-decade buckets are half-open [m*10^e, (m+1)*10^e), m = 1..9.
   const int i1 = Histogram::bucket_index(1.0);
-  EXPECT_EQ(Histogram::bucket_index(9.999), i1);
-  EXPECT_EQ(Histogram::bucket_index(10.0), i1 + 1);
+  EXPECT_EQ(Histogram::bucket_index(1.999), i1);
+  EXPECT_EQ(Histogram::bucket_index(2.0), i1 + 1);
+  EXPECT_EQ(Histogram::bucket_index(9.999), i1 + 8);
+  EXPECT_EQ(Histogram::bucket_index(10.0), i1 + 9);
   // Overflow bucket.
   EXPECT_EQ(Histogram::bucket_index(1e18), Histogram::kBuckets - 1);
   EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
-  // bucket_lower_bound is consistent with bucket_index across the grid.
-  for (double v : {1e-18, 3e-9, 0.5, 1.0, 42.0, 1e6, 9.9e17}) {
+  // bucket_lower_bound / bucket_upper_bound bracket every value the
+  // index formula maps there, including fp-delicate decade boundaries.
+  for (double v : {1e-18, 3e-9, 0.5, 1.0, 9.999, 10.0, 42.0, 1e6,
+                   9.9e17}) {
     const int i = Histogram::bucket_index(v);
     EXPECT_LE(Histogram::bucket_lower_bound(i), v) << "v=" << v;
+    EXPECT_GT(Histogram::bucket_upper_bound(i), v) << "v=" << v;
     if (i + 1 < Histogram::kBuckets) {
       EXPECT_GT(Histogram::bucket_lower_bound(i + 1), v) << "v=" << v;
     }
+  }
+  // Bucket edges tile the grid: upper(i) == lower(i+1).
+  for (int i = 1; i + 2 < Histogram::kBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(i),
+                     Histogram::bucket_lower_bound(i + 1))
+        << "i=" << i;
   }
 }
 
@@ -121,13 +132,23 @@ TEST(ObsMetrics, HistogramStats) {
   EXPECT_DOUBLE_EQ(hv->min, 1.0);
   EXPECT_DOUBLE_EQ(hv->max, 400.0);
   EXPECT_DOUBLE_EQ(hv->mean(), 101.5);
-  // 1, 2, 3 share the [1,10) decade; 400 sits alone in [100,1000).
+  // With sub-decade resolution each sample lands in its own bucket:
+  // [1,2), [2,3), [3,4) and [400,500).
   std::uint64_t total = 0;
-  for (const auto& [lb, n] : hv->buckets) total += n;
+  for (const auto& b : hv->buckets) total += b.count;
   EXPECT_EQ(total, 4u);
-  EXPECT_EQ(hv->buckets.size(), 2u);
-  EXPECT_EQ(hv->buckets[0].second, 3u);
-  EXPECT_EQ(hv->buckets[1].second, 1u);
+  ASSERT_EQ(hv->buckets.size(), 4u);
+  EXPECT_DOUBLE_EQ(hv->buckets[0].lower, 1.0);
+  EXPECT_DOUBLE_EQ(hv->buckets[0].upper, 2.0);
+  EXPECT_DOUBLE_EQ(hv->buckets[3].lower, 400.0);
+  EXPECT_DOUBLE_EQ(hv->buckets[3].upper, 500.0);
+  for (const auto& b : hv->buckets) EXPECT_EQ(b.count, 1u);
+  // Interpolated quantiles stay within the observed range and ordered.
+  const double p50 = hv->quantile(0.50);
+  const double p99 = hv->quantile(0.99);
+  EXPECT_GE(p50, hv->min);
+  EXPECT_LE(p99, hv->max);
+  EXPECT_LE(p50, p99);
 }
 
 TEST(ObsMetrics, SnapshotMergesThreadShards) {

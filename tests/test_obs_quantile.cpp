@@ -1,0 +1,144 @@
+// Quantile-estimator error bounds. The obs histograms use a log-linear
+// grid (9 linear sub-buckets per decade) with linear interpolation
+// inside the target bucket, so the estimate can never be off by more
+// than one sub-bucket width — a relative error of at most 1/m <= 100%
+// in the worst case, and far less for smooth distributions. These tests
+// feed deterministic inverse-CDF grids (no RNG) so the true quantiles
+// are known exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace {
+
+using fpsq::obs::Histogram;
+using fpsq::obs::MetricsRegistry;
+using fpsq::obs::MetricsSnapshot;
+
+/// The estimator's hard guarantee: the interpolated quantile lies in
+/// the same sub-bucket as the true one, so the absolute error is at
+/// most that bucket's width.
+double bucket_width_at(double v) {
+  const int i = Histogram::bucket_index(v);
+  return Histogram::bucket_upper_bound(i) - Histogram::bucket_lower_bound(i);
+}
+
+const MetricsSnapshot::HistogramValue* record_and_find(
+    const std::string& name, const std::vector<double>& values) {
+  auto& reg = MetricsRegistry::global();
+  reg.reset();
+  const auto h = reg.histogram(name);
+  for (double v : values) h.record(v);
+  static MetricsSnapshot snap;
+  snap = reg.snapshot();
+  for (const auto& hv : snap.histograms) {
+    if (hv.name == name) return &hv;
+  }
+  return nullptr;
+}
+
+/// True quantile of the deterministic sample grid.
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+TEST(ObsQuantile, UniformDistributionWithinSubBucketResolution) {
+  // U(0, 1000) via the inverse CDF on a midpoint grid.
+  std::vector<double> values;
+  const int n = 20000;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    values.push_back(1000.0 * (i + 0.5) / n);
+  }
+  const auto* hv = record_and_find("test.quantile.uniform", values);
+  ASSERT_NE(hv, nullptr);
+  for (double q : {0.50, 0.90, 0.99}) {
+    const double expected = exact_quantile(values, q);
+    const double got = hv->quantile(q);
+    // One sub-bucket of relative resolution plus interpolation slack.
+    EXPECT_NEAR(got, expected, 0.10 * expected) << "q=" << q;
+  }
+}
+
+TEST(ObsQuantile, ExponentialDistributionWithinSubBucketResolution) {
+  // Exp(mean 25 ms-ish) via the inverse CDF; spans several decades.
+  std::vector<double> values;
+  const int n = 20000;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = (i + 0.5) / n;
+    values.push_back(-25.0 * std::log1p(-u));
+  }
+  const auto* hv = record_and_find("test.quantile.exponential", values);
+  ASSERT_NE(hv, nullptr);
+  for (double q : {0.50, 0.90, 0.99}) {
+    const double expected = exact_quantile(values, q);
+    const double got = hv->quantile(q);
+    EXPECT_NEAR(got, expected, bucket_width_at(expected)) << "q=" << q;
+  }
+  // Inside a densely-populated bucket the interpolation does much
+  // better than the worst case: the exponential median lands well
+  // within 12%.
+  EXPECT_NEAR(hv->quantile(0.50), exact_quantile(values, 0.50),
+              0.12 * exact_quantile(values, 0.50));
+}
+
+TEST(ObsQuantile, QuantilesAreMonotoneAndClampedToObservedRange) {
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(0.001 * i * i);
+  const auto* hv = record_and_find("test.quantile.monotone", values);
+  ASSERT_NE(hv, nullptr);
+  double prev = hv->quantile(0.0);
+  EXPECT_GE(prev, hv->min);
+  for (double q = 0.05; q <= 1.0001; q += 0.05) {
+    const double cur = hv->quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+  EXPECT_LE(prev, hv->max);
+  // Extremes pin to the exact observed min / max.
+  EXPECT_DOUBLE_EQ(hv->quantile(0.0), hv->min);
+  EXPECT_DOUBLE_EQ(hv->quantile(1.0), hv->max);
+}
+
+TEST(ObsQuantile, SingleValueHistogramIsExact) {
+  const auto* hv =
+      record_and_find("test.quantile.single", {3.25, 3.25, 3.25});
+  ASSERT_NE(hv, nullptr);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hv->quantile(q), 3.25) << "q=" << q;
+  }
+}
+
+TEST(ObsQuantile, EmptyHistogramReportsNaN) {
+  auto& reg = MetricsRegistry::global();
+  reg.reset();
+  (void)reg.histogram("test.quantile.empty");
+  const auto snap = reg.snapshot();
+  for (const auto& hv : snap.histograms) {
+    if (hv.name != "test.quantile.empty") continue;
+    EXPECT_TRUE(std::isnan(hv.quantile(0.5)));
+  }
+}
+
+TEST(ObsQuantile, BimodalMassSplitsAtTheGap) {
+  // Half the samples at ~1, half at ~1000: p25 must sit in the low
+  // mode, p75 in the high mode — a decade-only histogram with mean
+  // interpolation could not tell these apart this sharply.
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(1.0 + 0.0001 * i);
+  for (int i = 0; i < 1000; ++i) values.push_back(1000.0 + 0.1 * i);
+  const auto* hv = record_and_find("test.quantile.bimodal", values);
+  ASSERT_NE(hv, nullptr);
+  EXPECT_LT(hv->quantile(0.25), 2.0);
+  EXPECT_GT(hv->quantile(0.75), 900.0);
+}
+
+}  // namespace

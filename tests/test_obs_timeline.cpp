@@ -1,0 +1,155 @@
+// Tests for the timeline sampler: lifecycle, concurrent recording while
+// the background thread snapshots (exercised under ASan/UBSan), schema
+// of the emitted series, and the final-sample == final-registry-state
+// guarantee the CLI relies on for --timeline-out / --metrics-out
+// consistency.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+namespace {
+
+using fpsq::obs::MetricsRegistry;
+using fpsq::obs::TimelineSampler;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ObsTimeline, StartRejectsBadConfigurations) {
+  TimelineSampler s;
+  EXPECT_FALSE(s.start({::testing::TempDir() + "tl0.json", 0.0}));
+  EXPECT_FALSE(s.start({::testing::TempDir() + "tl0.json", -5.0}));
+  ASSERT_TRUE(s.start({::testing::TempDir() + "tl0.json", 50.0}));
+  EXPECT_FALSE(s.start({::testing::TempDir() + "tl0.json", 50.0}));
+  EXPECT_TRUE(s.stop_and_write());
+  // Finalized samplers cannot be restarted, and stop is idempotent.
+  EXPECT_FALSE(s.start({::testing::TempDir() + "tl0.json", 50.0}));
+  EXPECT_TRUE(s.stop_and_write());
+}
+
+TEST(ObsTimeline, StopWithoutStartFails) {
+  TimelineSampler s;
+  EXPECT_FALSE(s.stop_and_write());
+}
+
+TEST(ObsTimeline, DestructorStopsThreadWithoutWriting) {
+  const std::string path = ::testing::TempDir() + "tl_never_written.json";
+  std::remove(path.c_str());
+  {
+    TimelineSampler s;
+    ASSERT_TRUE(s.start({path, 1.0}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
+TEST(ObsTimeline, SeriesIsSchemaValidAndFinalSampleMatchesRegistry) {
+  auto& reg = MetricsRegistry::global();
+  reg.reset();
+  const auto c = reg.counter("test.timeline.counter");
+  const auto h = reg.histogram("test.timeline.hist");
+
+  const std::string path = ::testing::TempDir() + "tl1.json";
+  TimelineSampler s;
+  ASSERT_TRUE(s.start({path, 2.0}));
+  EXPECT_TRUE(s.running());
+
+  // Hammer the registry from several threads while the sampler runs —
+  // this is the concurrent-snapshot path ASan/UBSan must stay quiet on.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        h.record(0.5 + i % 7);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  ASSERT_TRUE(s.stop_and_write());
+  EXPECT_FALSE(s.running());
+  EXPECT_GE(s.sample_count(), 1u);
+
+  const auto doc = fpsq::obs::json::parse(slurp(path));
+  EXPECT_EQ(doc.string_or("schema", ""), "fpsq.timeline.v1");
+  const auto* manifest = doc.find("manifest");
+  ASSERT_NE(manifest, nullptr);
+  EXPECT_EQ(manifest->string_or("schema", ""), "fpsq.manifest.v1");
+  EXPECT_DOUBLE_EQ(doc.number_or("interval_ms", 0.0), 2.0);
+
+  const auto* samples = doc.find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_TRUE(samples->is_array());
+  ASSERT_EQ(samples->array.size(), s.sample_count());
+  ASSERT_FALSE(samples->array.empty());
+
+  // Sample timestamps are monotone.
+  double prev_t = -1.0;
+  for (const auto& sample : samples->array) {
+    const double t = sample.number_or("t_s", -1.0);
+    EXPECT_GE(t, prev_t);
+    prev_t = t;
+  }
+
+  // The final sample reflects the registry state at stop: all worker
+  // increments are visible, matching what --metrics-out would export.
+  const auto& last = samples->array.back();
+  const auto* counters = last.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(
+      counters->number_or("test.timeline.counter", -1.0),
+      static_cast<double>(kThreads) * kIters);
+  const auto* hists = last.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const auto* hist = hists->find("test.timeline.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->number_or("count", -1.0),
+                   static_cast<double>(kThreads) * kIters);
+  // Quantile fields are present and ordered.
+  const double p50 = hist->number_or("p50", -1.0);
+  const double p99 = hist->number_or("p99", -1.0);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+
+#ifndef FPSQ_NO_METRICS
+  // With a 2 ms interval and ~tens of ms of work, the background thread
+  // collected interior samples too, and counters only ever grow.
+  EXPECT_GE(s.sample_count(), 2u);
+  double prev_count = 0.0;
+  for (const auto& sample : samples->array) {
+    const auto* cs = sample.find("counters");
+    ASSERT_NE(cs, nullptr);
+    const double cur = cs->number_or("test.timeline.counter", -1.0);
+    EXPECT_GE(cur, prev_count);
+    prev_count = cur;
+  }
+#endif
+}
+
+TEST(ObsTimeline, ToJsonMatchesWrittenFile) {
+  MetricsRegistry::global().reset();
+  const std::string path = ::testing::TempDir() + "tl2.json";
+  TimelineSampler s;
+  ASSERT_TRUE(s.start({path, 1000.0}));
+  ASSERT_TRUE(s.stop_and_write());
+  EXPECT_EQ(slurp(path), s.to_json() + "\n");
+}
+
+}  // namespace

@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
 # Runs every reproduction bench, collects their BENCHJSON lines (see
-# bench/bench_util.h), and aggregates them into BENCH_<date>.json — a JSON
-# array with one object per bench: {"name", "wall_s", "metrics": {...}}.
+# bench/bench_util.h, schema fpsq.bench.v2), and aggregates them into a
+# schema-versioned collection:
+#
+#   {"schema": "fpsq.bench.v2",
+#    "manifest": {...},          # hoisted from the (identical) per-bench
+#    "benches": [{...}, ...]}    # manifests; per-bench copies dropped
+#
+# Every line is validated with jq before aggregation, and a bench that
+# emits no BENCHJSON line is a hard failure — a silently skipped bench
+# would make `fpsq benchdiff` report it as "missing from current run"
+# only when diffed the other way around.
 #
 # Usage: tools/collect_bench.sh [build-dir] [output-file]
 #   build-dir    defaults to ./build
@@ -11,6 +20,11 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out="${2:-$repo_root/BENCH_$(date +%Y%m%d).json}"
+
+if ! command -v jq >/dev/null 2>&1; then
+  echo "error: jq is required (validates and aggregates BENCHJSON)" >&2
+  exit 1
+fi
 
 if [[ ! -d "$build_dir/bench" ]]; then
   echo "error: $build_dir/bench not found — build the project first" >&2
@@ -30,10 +44,18 @@ for exe in "$build_dir"/bench/bench_*; do
   echo "running $name ..." >&2
   json="$("$exe" | sed -n 's/^BENCHJSON //p')"
   if [[ -z "$json" ]]; then
-    echo "warning: $name emitted no BENCHJSON line" >&2
-    continue
+    echo "error: $name emitted no BENCHJSON line" >&2
+    exit 1
   fi
-  lines+=("$json")
+  while IFS= read -r line; do
+    if ! jq -e 'type == "object" and (.name | type == "string")' \
+        >/dev/null 2>&1 <<<"$line"; then
+      echo "error: $name emitted an invalid BENCHJSON line:" >&2
+      echo "  $line" >&2
+      exit 1
+    fi
+    lines+=("$line")
+  done <<<"$json"
 done
 
 if [[ ${#lines[@]} -eq 0 ]]; then
@@ -41,14 +63,19 @@ if [[ ${#lines[@]} -eq 0 ]]; then
   exit 1
 fi
 
-{
-  echo "["
-  for i in "${!lines[@]}"; do
-    sep=","
-    [[ $i -eq $((${#lines[@]} - 1)) ]] && sep=""
-    echo "  ${lines[$i]}${sep}"
-  done
-  echo "]"
-} > "$out"
+printf '%s\n' "${lines[@]}" | jq -s '{
+  schema: "fpsq.bench.v2",
+  manifest: (.[0].manifest // {}),
+  benches: map(del(.manifest))
+}' > "$out"
+
+# Final sanity pass over the aggregate before declaring success.
+jq -e '.schema == "fpsq.bench.v2"
+       and (.manifest | type == "object")
+       and (.benches | type == "array" and length > 0)' \
+    "$out" >/dev/null || {
+  echo "error: aggregated file $out failed schema validation" >&2
+  exit 1
+}
 
 echo "wrote ${#lines[@]} bench results to $out" >&2

@@ -7,17 +7,22 @@
 //   fpsq analyze    --in FILE [--pcap ...]            Section-2.2 stats + K fits
 //   fpsq validate   --load RHO [...]                  model vs simulation
 //   fpsq profile    [scenario flags]                  telemetry summary
+//   fpsq benchdiff  BASELINE.json CURRENT.json        bench regression gate
 //
-// Every command additionally accepts --metrics-out FILE (metrics JSON)
-// and --trace-out FILE (Chrome trace JSON); see docs/OBSERVABILITY.md.
-// Run `fpsq help` or `fpsq help <command>` for the full flag list.
+// Every command additionally accepts --metrics-out FILE (metrics JSON),
+// --trace-out FILE (Chrome trace JSON) and --timeline-out FILE
+// [--timeline-interval-ms N] (fpsq.timeline.v1 time series); see
+// docs/OBSERVABILITY.md. Run `fpsq help` or `fpsq help <command>` for
+// the full flag list.
 #include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <initializer_list>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -29,7 +34,11 @@
 #include "core/validation.h"
 #include "dist/fitting.h"
 #include "err/error.h"
+#include "obs/benchcompare.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "queueing/solver_cache.h"
@@ -89,8 +98,9 @@ long long parse_integer(const std::string& cmd, const std::string& flag,
 }
 
 /// Execution + observability flags every command accepts.
-const char* const kCommonFlags[] = {"threads", "cache", "metrics-out",
-                                    "trace-out"};
+const char* const kCommonFlags[] = {"threads",      "cache",
+                                    "metrics-out",  "trace-out",
+                                    "timeline-out", "timeline-interval-ms"};
 
 /// Tiny --flag value parser: flags are "--name value" pairs. Numeric
 /// access is strict (std::from_chars over the whole token): malformed
@@ -203,6 +213,18 @@ void apply_execution_flags(const Args& args) {
   const long long cache = args.integer("cache", 1);
   args.require(cache == 0 || cache == 1, "cache", "0 or 1");
   queueing::SolverCache::global().set_enabled(cache == 1);
+  // Record the run configuration in the manifest every exported
+  // artifact (metrics snapshot, timeline, report) embeds.
+  auto& manifest = obs::RunManifest::current();
+  manifest.threads = par::global_thread_count();
+  manifest.cache_enabled = cache == 1;
+  if (args.has("seed")) {
+    const long long seed = args.integer("seed", 0);
+    if (seed >= 0) {
+      manifest.has_seed = true;
+      manifest.seed = static_cast<std::uint64_t>(seed);
+    }
+  }
 }
 
 core::AccessScenario scenario_from(const Args& args) {
@@ -604,6 +626,65 @@ int cmd_validate(const Args& args) {
   return 0;
 }
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out.flush());
+}
+
+/// `fpsq benchdiff BASELINE.json CURRENT.json [--timing-tol R]
+/// [--acc-tol R] [--md-out FILE] [--json-out FILE]`.
+/// Exit codes: 0 clean, 3 timing warnings only, 4 accuracy regression
+/// (1 = I/O or parse error, 2 = usage error).
+int cmd_benchdiff(const std::string& baseline_path,
+                  const std::string& current_path, const Args& args) {
+  obs::BenchDiffOptions opt;
+  opt.timing_rel_tol = args.number("timing-tol", opt.timing_rel_tol);
+  args.require(opt.timing_rel_tol > 0.0, "timing-tol", "> 0");
+  opt.timing_abs_tol = args.number("timing-abs-tol", opt.timing_abs_tol);
+  args.require(opt.timing_abs_tol >= 0.0, "timing-abs-tol", ">= 0");
+  opt.accuracy_rel_tol = args.number("acc-tol", opt.accuracy_rel_tol);
+  args.require(opt.accuracy_rel_tol > 0.0, "acc-tol", "> 0");
+
+  auto load = [](const std::string& path) {
+    try {
+      return obs::json::parse(read_text_file(path));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ": " + e.what());
+    }
+  };
+  const auto baseline = load(baseline_path);
+  const auto current = load(current_path);
+  const auto report = obs::diff_bench_collections(baseline, current, opt);
+
+  const std::string markdown = report.to_markdown();
+  std::fputs(markdown.c_str(), stdout);
+  if (args.has("md-out") &&
+      !write_text_file(args.text("md-out"), markdown)) {
+    std::fprintf(stderr, "fpsq benchdiff: cannot write '%s'\n",
+                 args.text("md-out").c_str());
+    return 1;
+  }
+  if (args.has("json-out") &&
+      !write_text_file(args.text("json-out"), report.to_json() + "\n")) {
+    std::fprintf(stderr, "fpsq benchdiff: cannot write '%s'\n",
+                 args.text("json-out").c_str());
+    return 1;
+  }
+  return report.exit_code();
+}
+
 /// Per-command usage text, shared by `fpsq help <cmd>` and the parse
 /// error path (which prints it to stderr under the error message). An
 /// unknown topic gets the general synopsis.
@@ -662,9 +743,22 @@ const char* usage_text(const std::string& topic) {
            "  runs the analytic solvers and a short simulation, then prints\n"
            "  the solver/simulator telemetry summary\n";
   }
+  if (topic == "benchdiff") {
+    return "fpsq benchdiff BASELINE.json CURRENT.json\n"
+           "               [--timing-tol 0.5] [--timing-abs-tol 0.01]\n"
+           "               [--acc-tol 1e-6]\n"
+           "               [--md-out FILE] [--json-out FILE]\n"
+           "  compares two collect_bench.sh outputs (fpsq.bench.v1/v2)\n"
+           "  with per-class tolerances: timing metrics (wall_s, *_s,\n"
+           "  events_per_sec, speedup) only warn beyond --timing-tol\n"
+           "  relative + --timing-abs-tol absolute slack, accuracy\n"
+           "  metrics fail beyond --acc-tol relative drift\n"
+           "  exit codes: 0 pass, 3 warnings only (timing noise /\n"
+           "  baseline refresh hints), 4 accuracy regression\n";
+  }
   return "fpsq <command> [--flag value ...]\n\n"
          "commands: rtt report dimension sweep generate analyze replay"
-         " validate profile help\n\n"
+         " validate profile benchdiff help\n\n"
          "scenario flags (defaults = paper Section 4):\n"
          "  --k 9          burst-size Erlang order\n"
          "  --tick 40      tick interval T [ms]\n"
@@ -683,7 +777,11 @@ const char* usage_text(const std::string& topic) {
          "  --cache 0|1          solver memoization (default 1)\n\n"
          "observability flags (every command):\n"
          "  --metrics-out FILE   write solver/simulator metrics JSON\n"
-         "  --trace-out FILE     record spans, write Chrome trace JSON\n\n"
+         "  --trace-out FILE     record spans, write Chrome trace JSON\n"
+         "  --timeline-out FILE  sample the metrics registry on a\n"
+         "                       background thread, write a\n"
+         "                       fpsq.timeline.v1 series\n"
+         "  --timeline-interval-ms N  sampling period (default 100)\n\n"
          "`fpsq help <command>` shows command-specific flags.\n";
 }
 
@@ -750,10 +848,21 @@ int dispatch(const std::string& cmd, const Args& args) {
   return 2;
 }
 
-/// Exports --metrics-out / --trace-out if requested. Runs even when the
-/// command failed, so a partial run's telemetry is still inspectable.
+/// Exports --timeline-out / --metrics-out / --trace-out if requested.
+/// Runs even when the command failed, so a partial run's telemetry is
+/// still inspectable. The timeline is finalized FIRST: stop_and_write()
+/// appends one last sample, and no metrics are recorded between it and
+/// the --metrics-out snapshot, so the final timeline sample matches the
+/// metrics file exactly.
 int export_observability(const Args& args) {
   int rc = 0;
+  if (args.has("timeline-out")) {
+    if (!obs::TimelineSampler::global().stop_and_write()) {
+      std::fprintf(stderr, "fpsq: cannot write timeline to '%s'\n",
+                   args.text("timeline-out").c_str());
+      rc = 1;
+    }
+  }
   if (args.has("metrics-out")) {
     obs::ensure_baseline_schema();
     if (!obs::write_metrics_json(
@@ -784,6 +893,27 @@ int main(int argc, char** argv) {
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     return cmd_help(argc > 2 ? argv[2] : "");
   }
+  if (cmd == "benchdiff") {
+    // Unlike the model commands, benchdiff takes two positional paths.
+    if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-') {
+      std::fprintf(stderr, "fpsq benchdiff: expected two input files\n\n%s",
+                   usage_text("benchdiff"));
+      return 2;
+    }
+    try {
+      const Args args{cmd, argc, argv, 4};
+      args.allow_only(
+          {"timing-tol", "timing-abs-tol", "acc-tol", "md-out", "json-out"});
+      return cmd_benchdiff(argv[2], argv[3], args);
+    } catch (const UsageError& e) {
+      std::fprintf(stderr, "fpsq benchdiff: %s\n\nusage:\n%s", e.what(),
+                   usage_text("benchdiff"));
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fpsq benchdiff: %s\n", e.what());
+      return 1;
+    }
+  }
   if (!is_command(cmd)) {
     std::fprintf(stderr, "fpsq: unknown command '%s'\n\n%s", cmd.c_str(),
                  usage_text(""));
@@ -795,6 +925,17 @@ int main(int argc, char** argv) {
     apply_execution_flags(args);
     if (args.has("trace-out")) {
       obs::TraceRecorder::global().set_enabled(true);
+    }
+    if (args.has("timeline-out")) {
+      const double interval = args.number("timeline-interval-ms", 100.0);
+      args.require(interval > 0.0, "timeline-interval-ms", "> 0");
+      // Pre-register the well-known metric names so even the first
+      // sample (and an idle run's only sample) carries the full schema.
+      obs::ensure_baseline_schema();
+      obs::TimelineSampler::Options opt;
+      opt.path = args.text("timeline-out");
+      opt.interval_ms = interval;
+      obs::TimelineSampler::global().start(opt);
     }
     int rc;
     try {
