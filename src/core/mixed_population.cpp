@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "queueing/tail_kernel.h"
+
 namespace fpsq::core {
 
 MixedUpstreamModel::MixedUpstreamModel(std::vector<GamerClass> classes,
@@ -33,7 +35,11 @@ queueing::ErlangMixMgf MixedUpstreamModel::mgf(bool paper_eq14) const {
 
 double MixedUpstreamModel::wait_quantile_ms(double epsilon,
                                             bool paper_eq14) const {
-  return mgf(paper_eq14).quantile(epsilon) * 1e3;
+  // Compile the (single-pole) wait law once and Newton-invert it; the
+  // compile is trivial next to the ~200 bisection tail evaluations it
+  // replaces.
+  const queueing::TailKernel kern{mgf(paper_eq14)};
+  return kern.quantile(epsilon) * 1e3;
 }
 
 }  // namespace fpsq::core

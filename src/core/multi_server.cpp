@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "queueing/convolution.h"
+#include "queueing/inversion.h"
 
 namespace fpsq::core {
 
@@ -55,6 +55,13 @@ MultiServerDownstreamModel::MultiServerDownstreamModel(
       break;
   }
   wait_mgf_ = exact_wait_ ? queue_->full_mgf() : queue_->asymptotic_mgf();
+  // Precompile one (wait + position_i) kernel per server: every
+  // packet-delay tail/quantile below reuses these instead of integrating
+  // the convolution afresh at each evaluation point.
+  kernels_.reserve(positions_.size());
+  for (const auto& pos : positions_) {
+    kernels_.emplace_back(wait_mgf_, pos);
+  }
 }
 
 double MultiServerDownstreamModel::mean_burst_wait_ms() const {
@@ -71,7 +78,7 @@ double MultiServerDownstreamModel::packet_delay_tail(std::size_t server,
   if (server >= servers_.size()) {
     throw std::out_of_range("MultiServerDownstreamModel: server index");
   }
-  return queueing::convolved_tail(wait_mgf_, positions_[server], x_s);
+  return kernels_[server].tail(x_s);
 }
 
 double MultiServerDownstreamModel::packet_delay_quantile_ms(
@@ -79,9 +86,7 @@ double MultiServerDownstreamModel::packet_delay_quantile_ms(
   if (server >= servers_.size()) {
     throw std::out_of_range("MultiServerDownstreamModel: server index");
   }
-  return queueing::convolved_quantile(wait_mgf_, positions_[server],
-                                      epsilon) *
-         1e3;
+  return kernels_[server].quantile(epsilon) * 1e3;
 }
 
 double MultiServerDownstreamModel::packet_delay_tail(double x_s) const {
@@ -98,26 +103,24 @@ double MultiServerDownstreamModel::packet_delay_quantile_ms(
     throw std::invalid_argument(
         "MultiServerDownstreamModel: epsilon in (0,1)");
   }
-  // Bisection on the mixture tail.
-  double hi = 1e-3;
-  int guard = 0;
-  while (packet_delay_tail(hi) > epsilon) {
-    hi *= 2.0;
-    if (++guard > 100) {
-      throw std::runtime_error(
-          "MultiServerDownstreamModel: bracket failure");
-    }
+  // Safeguarded Newton on the server mixture, with the mixture density as
+  // the analytic derivative. Failures surface as err::SolverFailure
+  // (kNonConvergence) instead of a raw bracket-failure runtime_error.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    scale += burst_share_[i] * kernels_[i].mean();
   }
-  double lo = 0.0;
-  for (int i = 0; i < 100 && hi - lo > 1e-12 * (1.0 + hi); ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (packet_delay_tail(mid) > epsilon) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return 0.5 * (lo + hi) * 1e3;
+  return queueing::invert_tail_newton(
+             [this](double x) { return packet_delay_tail(x); },
+             [this](double x) {
+               double acc = 0.0;
+               for (std::size_t i = 0; i < kernels_.size(); ++i) {
+                 acc += burst_share_[i] * kernels_[i].density(x);
+               }
+               return acc;
+             },
+             epsilon, scale, "core.multi_server") *
+         1e3;
 }
 
 }  // namespace fpsq::core

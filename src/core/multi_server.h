@@ -16,6 +16,7 @@
 #include "queueing/erlang_mix.h"
 #include "queueing/mg1_erlang_service.h"
 #include "queueing/position_delay.h"
+#include "queueing/tail_kernel.h"
 
 namespace fpsq::core {
 
@@ -70,7 +71,9 @@ class MultiServerDownstreamModel {
                                                 double epsilon) const;
 
   /// Tail/quantile for a packet in a uniformly random burst (mixture over
-  /// servers weighted by burst rate).
+  /// servers weighted by burst rate). The quantile runs safeguarded
+  /// Newton on the mixture tail with the mixture density as derivative.
+  /// @throws err::SolverFailure (kNonConvergence) on inversion failure
   [[nodiscard]] double packet_delay_tail(double x_s) const;
   [[nodiscard]] double packet_delay_quantile_ms(double epsilon) const;
 
@@ -82,6 +85,9 @@ class MultiServerDownstreamModel {
   queueing::ErlangMixMgf wait_mgf_;  ///< burst-wait transform (see exact_wait)
   std::vector<queueing::ErlangMixture> positions_;
   std::vector<double> burst_share_;  ///< per-server burst-rate fraction
+  /// One precompiled (wait + position_i) evaluator per server, built once
+  /// at construction and reused by every tail/quantile query.
+  std::vector<queueing::TailKernel> kernels_;
 };
 
 }  // namespace fpsq::core

@@ -203,6 +203,23 @@ std::optional<err::SolverError> RttModel::init(
                   std::string("RttModel combination: ") + ex.what());
     }
   }
+
+  // Precompile the tail kernels: one closed-form (or GL-fallback)
+  // evaluator per law, shared by every subsequent tail/quantile query.
+  if (options.use_tail_kernel) {
+    try {
+      total_kernel_ =
+          std::make_unique<const queueing::TailKernel>(upw_, *position_);
+      downstream_kernel_ =
+          burst_dropped_
+              ? std::make_unique<const queueing::TailKernel>(*position_)
+              : std::make_unique<const queueing::TailKernel>(
+                    burst_wait_mgf(), *position_);
+    } catch (const std::exception& ex) {
+      return fail(err::SolverErrorCode::kIllConditioned,
+                  std::string("RttModel tail kernel: ") + ex.what());
+    }
+  }
   return std::nullopt;
 }
 
@@ -259,10 +276,12 @@ double RttModel::total_mgf_value(double s) const {
 }
 
 double RttModel::total_tail(double x_s) const {
+  if (total_kernel_) return total_kernel_->tail(x_s);
   return queueing::convolved_tail(upw_, *position_, x_s);
 }
 
 double RttModel::downstream_tail(double x_s) const {
+  if (downstream_kernel_) return downstream_kernel_->tail(x_s);
   if (burst_dropped_) {
     return position_->tail(x_s);
   }
@@ -270,6 +289,7 @@ double RttModel::downstream_tail(double x_s) const {
 }
 
 double RttModel::downstream_quantile_ms(double epsilon) const {
+  if (downstream_kernel_) return downstream_kernel_->quantile(epsilon) * 1e3;
   if (burst_dropped_) {
     return position_->quantile(epsilon) * 1e3;
   }
@@ -282,6 +302,7 @@ double RttModel::stochastic_quantile_ms(double epsilon,
                                         CombinationMethod method) const {
   switch (method) {
     case CombinationMethod::kFullInversion:
+      if (total_kernel_) return total_kernel_->quantile(epsilon) * 1e3;
       return queueing::convolved_quantile(upw_, *position_, epsilon) * 1e3;
     case CombinationMethod::kDominantPole: {
       // Dominant pole of eq. (35): the smallest-real-part pole among

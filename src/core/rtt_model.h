@@ -19,6 +19,7 @@
 #include "queueing/giek1.h"
 #include "queueing/mg1.h"
 #include "queueing/position_delay.h"
+#include "queueing/tail_kernel.h"
 
 namespace fpsq::core {
 
@@ -50,6 +51,12 @@ struct RttModelOptions {
   /// cache miss; see SolverCache::dek1_chained for the determinism
   /// rules. May be null.
   const RttModel* warm_neighbor = nullptr;
+  /// Precompile queueing::TailKernel evaluators for the combined and
+  /// downstream laws at construction, so tails and quantiles run on the
+  /// SoA pole arrays + Newton instead of adaptive quadrature + bisection.
+  /// Off = the seed's convolved_tail/convolved_quantile path (kept as the
+  /// reference oracle and for benchmarks).
+  bool use_tail_kernel = true;
 };
 
 class RttModel {
@@ -109,6 +116,18 @@ class RttModel {
   [[nodiscard]] const queueing::ErlangMixMgf& upstream_burst_mgf()
       const noexcept {
     return upw_;
+  }
+
+  /// Precompiled evaluator of the total stochastic law D_u + W + P, or
+  /// null when options.use_tail_kernel was off.
+  [[nodiscard]] const queueing::TailKernel* total_kernel() const noexcept {
+    return total_kernel_.get();
+  }
+  /// Precompiled evaluator of the downstream law W + P (P alone when the
+  /// burst wait was dropped), or null when kernels are off.
+  [[nodiscard]] const queueing::TailKernel* downstream_kernel()
+      const noexcept {
+    return downstream_kernel_.get();
   }
 
   /// Value of the full product MGF D_u(s) W(s) P(s), evaluated from the
@@ -174,6 +193,11 @@ class RttModel {
   std::shared_ptr<const queueing::GiEk1Solver> jittered_;   ///< jittered
   std::unique_ptr<queueing::ErlangMixture> position_;
   queueing::ErlangMixMgf upw_;  ///< D_u * W (or D_u alone if W dropped)
+  // Compiled once in init() (options.use_tail_kernel); every tail and
+  // quantile query below then reuses them instead of re-deriving the
+  // combined law per evaluation point.
+  std::unique_ptr<const queueing::TailKernel> total_kernel_;
+  std::unique_ptr<const queueing::TailKernel> downstream_kernel_;
 
   // Solver-agnostic views of the burst wait.
   [[nodiscard]] double wait_p0() const;

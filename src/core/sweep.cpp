@@ -136,7 +136,8 @@ std::vector<RttSweepPoint> sweep_rtt_quantiles(const RttSweepSpec& spec) {
           const double n = spec.n_values[unique_idx[u]];
           const RttModelOptions opts{
               spec.upstream, spec.use_cache,
-              spec.warm_chaining ? prev.get() : nullptr};
+              spec.warm_chaining ? prev.get() : nullptr,
+              spec.use_tail_kernel};
           auto created = RttModel::create(spec.scenario, n, opts);
           if (!created.ok()) {
             if (spec.on_failure == err::FailurePolicy::kThrow) {
@@ -154,11 +155,21 @@ std::vector<RttSweepPoint> sweep_rtt_quantiles(const RttSweepSpec& spec) {
           p.n_clients = n;
           p.rho_up = model->rho_up();
           p.rho_down = model->rho_down();
-          p.rtt_quantile_ms =
-              model->rtt_quantile_ms(spec.epsilon, spec.method);
-          p.rtt_mean_ms = model->rtt_mean_ms();
-          p.downstream_quantile_ms =
-              model->downstream_quantile_ms(spec.epsilon);
+          try {
+            p.rtt_quantile_ms =
+                model->rtt_quantile_ms(spec.epsilon, spec.method);
+            p.rtt_mean_ms = model->rtt_mean_ms();
+            p.downstream_quantile_ms =
+                model->downstream_quantile_ms(spec.epsilon);
+          } catch (const err::SolverFailure& ex) {
+            // Quantile inversion failed after a successful solve (already
+            // recorded at the throw site): degrade this point under the
+            // same policy as a construction failure.
+            if (spec.on_failure == err::FailurePolicy::kThrow) throw;
+            unique_out[u] = failed_sweep_point(spec, n, ex.error());
+            prev.reset();
+            continue;
+          }
           p.burst_wait_dropped = model->burst_wait_dropped();
           unique_out[u] = p;
           prev = std::move(model);
@@ -193,7 +204,7 @@ std::vector<DimensioningCell> dimension_table(
         cell.rtt_bound_ms = spec.rtt_bounds_ms[bi];
         auto result = dimension_for_rtt_checked(
             scenario, cell.rtt_bound_ms, spec.epsilon, spec.method,
-            spec.rho_tol);
+            spec.rho_tol, spec.use_tail_kernel);
         if (result.ok()) {
           cell.result = std::move(result).take_or_throw();
         } else {

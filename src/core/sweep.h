@@ -52,6 +52,9 @@ struct RttSweepSpec {
   UpstreamVariant upstream = UpstreamVariant::kPaperEq14;
   bool use_cache = true;      ///< route solvers through SolverCache
   bool warm_chaining = true;  ///< zeta warm starts along chunk runs
+  /// Precompiled TailKernel evaluators per model (SoA poles + Newton
+  /// quantiles); false = the seed's quadrature/bisection reference path.
+  bool use_tail_kernel = true;
   /// What a failed point does to the sweep: kFallbackBound (default)
   /// substitutes the Kingman bound (flagging the point, or just marking
   /// it failed when the bound is unavailable, e.g. rho >= 1); kFlag
@@ -84,6 +87,8 @@ struct DimensioningTableSpec {
   double epsilon = 1e-5;
   CombinationMethod method = CombinationMethod::kFullInversion;
   double rho_tol = 1e-4;
+  /// See RttSweepSpec::use_tail_kernel.
+  bool use_tail_kernel = true;
   /// kThrow rethrows the first failure through the pool (aborting the
   /// grid); anything else flags the failing cell and keeps going. A
   /// dimensioning bisection has no meaningful bound substitute, so

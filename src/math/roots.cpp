@@ -138,10 +138,8 @@ RootResult brent_impl(const std::function<double(double)>& f, double a,
 
 RootResult newton_safe_impl(const std::function<double(double)>& f,
                             const std::function<double(double)>& df,
-                            double a, double b, double x0, double x_tol,
-                            int max_iter) {
-  double fa = f(a);
-  double fb = f(b);
+                            double a, double fa, double b, double fb,
+                            double x0, double x_tol, int max_iter) {
   if (!opposite_signs(fa, fb)) {
     throw BracketError("newton_safe: bracket does not change sign");
   }
@@ -232,7 +230,16 @@ RootResult newton_safe(const std::function<double(double)>& f,
                        const std::function<double(double)>& df, double a,
                        double b, double x0, double x_tol, int max_iter) {
   return instrumented("newton_safe", [&] {
-    return newton_safe_impl(f, df, a, b, x0, x_tol, max_iter);
+    return newton_safe_impl(f, df, a, f(a), b, f(b), x0, x_tol, max_iter);
+  });
+}
+
+RootResult newton_safe(const std::function<double(double)>& f,
+                       const std::function<double(double)>& df, double a,
+                       double fa, double b, double fb, double x0,
+                       double x_tol, int max_iter) {
+  return instrumented("newton_safe", [&] {
+    return newton_safe_impl(f, df, a, fa, b, fb, x0, x_tol, max_iter);
   });
 }
 

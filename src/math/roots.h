@@ -56,4 +56,14 @@ class BracketError : public std::invalid_argument {
                                      double x_tol = 1e-14,
                                      int max_iter = 100);
 
+/// newton_safe with precomputed endpoint values fa = f(a) and fb = f(b):
+/// callers that just bracketed the root (quantile inversions) save the
+/// two endpoint re-evaluations the plain overload would spend.
+[[nodiscard]] RootResult newton_safe(const std::function<double(double)>& f,
+                                     const std::function<double(double)>& df,
+                                     double a, double fa, double b,
+                                     double fb, double x0,
+                                     double x_tol = 1e-14,
+                                     int max_iter = 100);
+
 }  // namespace fpsq::math

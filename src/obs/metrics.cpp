@@ -646,6 +646,13 @@ void ensure_baseline_schema() {
   (void)reg.counter("err.injected_faults");
   (void)reg.counter("err.fallback_cells");
   (void)reg.counter("err.failed_cells");
+  // Tail-inversion kernel (queueing::TailKernel + invert_tail_newton).
+  (void)reg.counter("queueing.kernel.tail_evals");
+  (void)reg.counter("queueing.kernel.density_evals");
+  (void)reg.counter("queueing.kernel.closed_form_hits");
+  (void)reg.counter("queueing.kernel.quad_fallbacks");
+  (void)reg.counter("queueing.convolution.tail_evals");
+  (void)reg.histogram("queueing.kernel.newton_iters");
 }
 
 }  // namespace fpsq::obs

@@ -4,16 +4,33 @@
 #include <stdexcept>
 
 #include "math/quadrature.h"
+#include "obs/metrics.h"
+#include "queueing/inversion.h"
 
 namespace fpsq::queueing {
 
 double convolved_tail(const ErlangMixMgf& v, const ErlangMixture& y,
                       double x, double quad_tol) {
   if (x <= 0.0) return 1.0;
+  // Counted so the TailKernel bench can compare evaluation budgets
+  // against this reference (adaptive-quadrature) path.
+  FPSQ_OBS_COUNT("queueing.convolution.tail_evals");
   double acc = v.tail(x) + v.constant_term() * y.tail(x);
   if (!v.terms().empty()) {
     acc += math::integrate(
         [&v, &y, x](double w) { return v.density(w) * y.tail(x - w); },
+        0.0, x, quad_tol);
+  }
+  return acc;
+}
+
+double convolved_density(const ErlangMixMgf& v, const ErlangMixture& y,
+                         double x, double quad_tol) {
+  if (x <= 0.0) return 0.0;
+  double acc = v.constant_term() * y.density(x);
+  if (!v.terms().empty()) {
+    acc += math::integrate(
+        [&v, &y, x](double w) { return v.density(w) * y.density(x - w); },
         0.0, x, quad_tol);
   }
   return acc;
@@ -24,24 +41,15 @@ double convolved_quantile(const ErlangMixMgf& v, const ErlangMixture& y,
   if (!(epsilon > 0.0 && epsilon < 1.0)) {
     throw std::invalid_argument("convolved_quantile: epsilon in (0,1)");
   }
-  double hi = convolved_mean(v, y) + 1.0 / y.beta();
-  int guard = 0;
-  while (convolved_tail(v, y, hi, quad_tol) > epsilon) {
-    hi *= 2.0;
-    if (++guard > 100) {
-      throw std::runtime_error("convolved_quantile: bracket failure");
-    }
-  }
-  double lo = 0.0;
-  for (int i = 0; i < 120 && hi - lo > 1e-12 * (1.0 + hi); ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (convolved_tail(v, y, mid, quad_tol) > epsilon) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return 0.5 * (lo + hi);
+  return invert_tail_newton(
+      [&v, &y, quad_tol](double x) {
+        return convolved_tail(v, y, x, quad_tol);
+      },
+      [&v, &y, quad_tol](double x) {
+        return convolved_density(v, y, x, quad_tol);
+      },
+      epsilon, convolved_mean(v, y) + 1.0 / y.beta(),
+      "queueing.convolution");
 }
 
 double convolved_mean(const ErlangMixMgf& v, const ErlangMixture& y) {

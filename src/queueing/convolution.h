@@ -28,7 +28,17 @@ namespace fpsq::queueing {
                                     const ErlangMixture& y, double x,
                                     double quad_tol = 1e-12);
 
-/// epsilon-quantile of V + Y.
+/// Density of V + Y at x > 0 (Y has no atom, so this is
+/// c0_V f_Y(x) + int_0^x f_V(w) f_Y(x - w) dw). Used as the analytic
+/// derivative in the Newton quantile inversion.
+[[nodiscard]] double convolved_density(const ErlangMixMgf& v,
+                                       const ErlangMixture& y, double x,
+                                       double quad_tol = 1e-12);
+
+/// epsilon-quantile of V + Y (safeguarded Newton on convolved_tail with
+/// convolved_density as the derivative).
+/// @throws err::SolverFailure (kNonConvergence) when the inversion
+///         bracket or Newton budget is exhausted
 [[nodiscard]] double convolved_quantile(const ErlangMixMgf& v,
                                         const ErlangMixture& y,
                                         double epsilon,

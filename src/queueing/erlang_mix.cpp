@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "math/kahan.h"
+#include "queueing/inversion.h"
+
 namespace fpsq::queueing {
 
 namespace {
@@ -104,7 +107,10 @@ double ErlangMixMgf::tail(double x) const {
   if (x <= 0.0) {
     return 1.0 - constant_;
   }
-  Complex acc{0.0, 0.0};
+  // Compensated accumulation: near-clash pole sets (K = 20 at low load)
+  // produce terms many orders larger than their sum; Re(sum) = sum(Re)
+  // lets the real parts go straight into a Neumaier accumulator.
+  math::KahanSum acc;
   for (const auto& t : terms_) {
     const Complex tx = t.theta * x;
     // Guard: with Re(theta x) this deep the whole term has underflowed.
@@ -115,28 +121,28 @@ double ErlangMixMgf::tail(double x) const {
     Complex partial = term;  // sum_{l<=0}
     // coeff[m-1] needs sum_{l<m}; walk m upward reusing the partial sum.
     for (std::size_t mi = 0; mi < t.coeff.size(); ++mi) {
-      acc += t.coeff[mi] * partial;
+      acc.add((t.coeff[mi] * partial).real());
       term *= tx / static_cast<double>(mi + 1);
       partial += term;
     }
   }
-  return acc.real();
+  return acc.value();
 }
 
 double ErlangMixMgf::density(double x) const {
   if (x <= 0.0) return 0.0;
-  Complex acc{0.0, 0.0};
+  math::KahanSum acc;
   for (const auto& t : terms_) {
     const Complex tx = t.theta * x;
     if (tx.real() > 745.0) continue;
     // term_m = theta^m x^{m-1} e^{-theta x}/(m-1)!; built by recurrence.
     Complex term = t.theta * std::exp(-tx);
     for (std::size_t mi = 0; mi < t.coeff.size(); ++mi) {
-      acc += t.coeff[mi] * term;
+      acc.add((t.coeff[mi] * term).real());
       term *= tx / static_cast<double>(mi + 1);
     }
   }
-  return acc.real();
+  return acc.value();
 }
 
 double ErlangMixMgf::quantile(double epsilon) const {
@@ -150,26 +156,14 @@ double ErlangMixMgf::quantile(double epsilon) const {
     // All mass at zero yet tail(0) > eps: inconsistent representation.
     throw std::logic_error("ErlangMixMgf::quantile: no poles but mass > 0");
   }
-  // Expand an upper bracket from a scale set by the dominant pole.
-  const double scale = 1.0 / dominant_pole().real();
-  double hi = scale;
-  int guard = 0;
-  while (tail(hi) > epsilon) {
-    hi *= 2.0;
-    if (++guard > 200) {
-      throw std::runtime_error("ErlangMixMgf::quantile: bracket failure");
-    }
-  }
-  double lo = 0.0;
-  for (int i = 0; i < 200 && (hi - lo) > 1e-13 * (1.0 + hi); ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (tail(mid) > epsilon) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return 0.5 * (lo + hi);
+  // Safeguarded Newton with the analytic density as the derivative; the
+  // initial bracket scale is set by the dominant (slowest) pole. Bracket
+  // or Newton exhaustion surfaces as err::SolverFailure
+  // (kNonConvergence), not a raw runtime_error.
+  return invert_tail_newton([this](double x) { return tail(x); },
+                            [this](double x) { return density(x); },
+                            epsilon, 1.0 / dominant_pole().real(),
+                            "queueing.erlang_mix");
 }
 
 double ErlangMixMgf::mean() const {

@@ -1,0 +1,141 @@
+#include "queueing/inversion.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "err/error.h"
+#include "math/roots.h"
+#include "obs/metrics.h"
+#include "obs/solver_telemetry.h"
+
+namespace fpsq::queueing {
+
+namespace {
+
+[[noreturn]] void fail_non_convergence(const char* site,
+                                       const char* what) {
+  err::SolverError e{err::SolverErrorCode::kNonConvergence,
+                     std::string(site) + ": " + what};
+  err::record_failure(e);
+  throw err::SolverFailure(std::move(e));
+}
+
+}  // namespace
+
+double invert_tail_newton(const std::function<double(double)>& tail,
+                          const std::function<double(double)>& density,
+                          double epsilon, double scale, const char* site) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("invert_tail_newton: epsilon in (0,1)");
+  }
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    scale = 1.0;
+  }
+  const double t0 = tail(0.0);
+  if (t0 <= epsilon) {
+    return 0.0;
+  }
+  // Bracket: expand from `scale` until the tail drops through epsilon.
+  double lo = 0.0;
+  double t_lo = t0;
+  double hi = scale;
+  double t_hi = tail(hi);
+  int guard = 0;
+  while (t_hi > epsilon) {
+    lo = hi;
+    t_lo = t_hi;
+    // Exponential extrapolation: with tail ~ R e^{-delta x}, the secant
+    // in log space jumps straight to the root's neighbourhood instead of
+    // creeping there by doubling.
+    double next = 2.0 * hi;
+    if (t_lo > 0.0 && t0 > t_lo && hi > 0.0) {
+      const double delta = std::log(t0 / t_lo) / hi;  // mean decay so far
+      if (delta > 0.0 && std::isfinite(delta)) {
+        const double jump = hi + 1.25 * std::log(t_lo / epsilon) / delta;
+        if (std::isfinite(jump) && jump > hi) {
+          next = std::min(jump, 16.0 * hi);
+        }
+      }
+    }
+    hi = next;
+    t_hi = tail(hi);
+    if (++guard > 200) {
+      fail_non_convergence(site, "quantile bracket expansion exhausted");
+    }
+  }
+  // The far endpoint may have underflowed to zero (or rounding-level
+  // negative); log-space Newton needs a strictly positive value there, so
+  // walk it back toward the sign change first.
+  const double refine_tol = 1e-13 * (1.0 + hi);
+  while (!(t_hi > 0.0)) {
+    if (hi - lo <= refine_tol) {
+      // Cancellation noise can drive a high-order compiled tail straight
+      // from above epsilon to <= 0 with no positive sliver in between
+      // (e.g. K = 64 pole sums); the bracket has collapsed to rounding
+      // width, so its endpoint is the crossing.
+      return hi;
+    }
+    const double mid = 0.5 * (lo + hi);
+    const double t_mid = tail(mid);
+    if (t_mid > epsilon) {
+      lo = mid;
+      t_lo = t_mid;
+    } else {
+      hi = mid;
+      t_hi = t_mid;
+    }
+    if (++guard > 200) {
+      fail_non_convergence(site, "quantile bracket refinement exhausted");
+    }
+  }
+  // Initial Newton point: log-space secant across the bracket (exact for
+  // a single-exponential tail, within a few percent otherwise).
+  double x0 = 0.5 * (lo + hi);
+  if (t_lo > t_hi && t_lo > epsilon) {
+    const double s =
+        std::log(t_lo / epsilon) / std::log(t_lo / t_hi);
+    if (std::isfinite(s) && s > 0.0 && s < 1.0) {
+      x0 = lo + s * (hi - lo);
+    }
+  }
+  // Newton on g(x) = log tail(x) - log eps: these tails are sums of
+  // exponential modes, so g is nearly linear and the solve takes a
+  // handful of iterations at any epsilon (Newton on tail - eps instead
+  // creeps in from the high side one e-fold per step). The tail value is
+  // cached for the derivative g' = -density/tail, which newton_safe
+  // requests at the same abscissa.
+  const double log_eps = std::log(epsilon);
+  double cached_x = std::numeric_limits<double>::quiet_NaN();
+  double cached_t = 0.0;
+  const auto eval_tail = [&](double x) {
+    if (x != cached_x) {
+      // Clamp at the smallest normal so a deep-tail underflow (or
+      // rounding-level negative from pole cancellation) stays finite.
+      cached_t = std::max(tail(x), 2.3e-308);
+      cached_x = x;
+    }
+    return cached_t;
+  };
+  const auto f = [&](double x) { return std::log(eval_tail(x)) - log_eps; };
+  const auto df = [&](double x) { return -density(x) / eval_tail(x); };
+  const double x_tol = 1e-13 * (1.0 + hi);
+  obs::ScopedSolverContext ctx(site);
+  math::RootResult r;
+  try {
+    r = math::newton_safe(f, df, lo, std::log(t_lo) - log_eps, hi,
+                          std::log(t_hi) - log_eps, x0, x_tol, 60);
+  } catch (const math::BracketError&) {
+    // Only possible when the tail is non-monotone at rounding noise
+    // around epsilon; the bracket endpoints then already answer.
+    return hi;
+  }
+  FPSQ_OBS_HIST("queueing.kernel.newton_iters", r.iterations);
+  if (!r.converged) {
+    fail_non_convergence(site, "quantile Newton did not converge");
+  }
+  return r.root;
+}
+
+}  // namespace fpsq::queueing

@@ -5,6 +5,7 @@
 
 #include "math/quadrature.h"
 #include "math/special.h"
+#include "queueing/inversion.h"
 
 namespace fpsq::queueing {
 
@@ -87,24 +88,13 @@ double ErlangMixture::quantile(double epsilon) const {
   if (!(epsilon > 0.0 && epsilon < 1.0)) {
     throw std::invalid_argument("ErlangMixture::quantile: epsilon in (0,1)");
   }
-  double hi = static_cast<double>(weights_.size()) / beta_;
-  int guard = 0;
-  while (tail(hi) > epsilon) {
-    hi *= 2.0;
-    if (++guard > 100) {
-      throw std::runtime_error("ErlangMixture::quantile: bracket failure");
-    }
-  }
-  double lo = 0.0;
-  for (int i = 0; i < 200 && hi - lo > 1e-13 * (1.0 + hi); ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (tail(mid) > epsilon) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return 0.5 * (lo + hi);
+  // Newton on the positive-term tail with the mixture density as the
+  // derivative; failures surface as err::SolverFailure.
+  return invert_tail_newton(
+      [this](double x) { return tail(x); },
+      [this](double x) { return density(x); }, epsilon,
+      static_cast<double>(weights_.size()) / beta_,
+      "queueing.position_delay");
 }
 
 ErlangMixMgf position_delay_fixed(int k, double beta, double theta) {

@@ -1,0 +1,324 @@
+#include "queueing/tail_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "math/kahan.h"
+#include "math/quadrature.h"
+#include "obs/metrics.h"
+#include "queueing/inversion.h"
+
+namespace fpsq::queueing {
+
+namespace {
+
+// Re(theta x) beyond which e^{-theta x} has underflowed to exactly 0.
+constexpr double kExpUnderflow = 745.0;
+
+// A pole counts as real when its imaginary part is at rounding level
+// relative to the pole magnitude (conjugate pairs produced by the root
+// finder carry tiny imaginary dust on nominally real roots).
+constexpr double kRealPoleTol = 1e-12;
+
+// Gauss-Legendre nodes per convolution sub-panel.
+constexpr int kGlNodes = 20;
+
+// Geometric grading levels for the convolution mesh: the finest panel is
+// x / 2^kGlLevels, which resolves the fast transient of f_V near w = 0.
+constexpr int kGlLevels = 10;
+
+/// Fold the (atom-free) Erlang mixture Y into the pole representation:
+/// Y(s) = sum_m w_m (beta/(beta - s))^m — a single pole at beta.
+ErlangMixMgf mixture_mgf(const ErlangMixture& y) {
+  ErlangMixMgf::PoleTerm term;
+  term.theta = Complex{y.beta(), 0.0};
+  term.coeff.reserve(y.weights().size());
+  for (double w : y.weights()) term.coeff.emplace_back(w, 0.0);
+  return ErlangMixMgf{0.0, {std::move(term)}};
+}
+
+/// Largest partial-fraction coefficient magnitude. The compiled tail sums
+/// terms of size up to this value down to O(epsilon), so max|c| * 1e-16
+/// bounds the absolute error of the closed form.
+double max_coeff_magnitude(const ErlangMixMgf& mgf) {
+  double m = 0.0;
+  for (const auto& t : mgf.terms()) {
+    for (const Complex& c : t.coeff) m = std::max(m, std::abs(c));
+  }
+  return m;
+}
+
+/// Horner evaluation of coeffs[0..n) (ascending powers) at x.
+inline double horner(const double* coeffs, std::uint32_t n, double x) {
+  double acc = 0.0;
+  for (std::uint32_t i = n; i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+}  // namespace
+
+TailKernel::TailKernel(const ErlangMixMgf& v) { compile(v); }
+
+TailKernel::TailKernel(const ErlangMixMgf& v, const Options& /*options*/) {
+  compile(v);
+}
+
+TailKernel::TailKernel(const ErlangMixture& y) { compile(mixture_mgf(y)); }
+
+TailKernel::TailKernel(const ErlangMixture& y, const Options& /*options*/) {
+  compile(mixture_mgf(y));
+}
+
+TailKernel::TailKernel(const ErlangMixMgf& v, const ErlangMixture& y)
+    : TailKernel(v, y, Options{}) {}
+
+TailKernel::TailKernel(const ErlangMixMgf& v, const ErlangMixture& y,
+                       const Options& options) {
+  // Closed form first: one Appendix-A product at construction removes the
+  // per-x convolution integral entirely. Rejected (pole clash or
+  // ill-conditioned expansion) -> compile V alone and fold Y in through
+  // cached Gauss-Legendre panels.
+  if (!options.force_quadrature) {
+    try {
+      ErlangMixMgf product = multiply(v, mixture_mgf(y));
+      if (max_coeff_magnitude(product) <= options.conditioning_limit) {
+        compile(product);
+        mean_ = v.mean() + y.mean();
+        bracket_scale_ = mean_ + 1.0 / y.beta();
+        FPSQ_OBS_COUNT("queueing.kernel.closed_form_hits");
+        return;
+      }
+    } catch (const std::invalid_argument&) {
+      // Pole clash between V and beta: fall through to quadrature.
+    }
+  }
+  FPSQ_OBS_COUNT("queueing.kernel.quad_fallbacks");
+  compile(v);
+  fallback_ = true;
+  v_constant_ = v.constant_term();
+  y_ = y;
+  atom_ = 0.0;  // Y > 0 a.s., so V + Y has no mass at zero
+  mean_ = v.mean() + y.mean();
+  bracket_scale_ = mean_ + 1.0 / y.beta();
+}
+
+void TailKernel::compile(const ErlangMixMgf& mgf) {
+  atom_ = mgf.constant_term();
+  mean_ = mgf.mean();
+
+  double min_decay = std::numeric_limits<double>::infinity();
+  std::size_t unpaired_negative = 0;
+
+  for (const auto& t : mgf.terms()) {
+    const double a = t.theta.real();
+    const double b = t.theta.imag();
+    const double mag = std::abs(t.theta);
+    const std::size_t big_m = t.coeff.size();
+    min_decay = std::min(min_decay, a);
+    max_decay_ = std::max(max_decay_, a);
+    max_freq_ = std::max(max_freq_, std::abs(b));
+
+    const bool is_real = std::abs(b) <= kRealPoleTol * mag;
+    if (!is_real && b < 0.0) {
+      // Conjugate partner of an Im > 0 pole: folded into that group.
+      ++unpaired_negative;
+      continue;
+    }
+
+    // Tail polynomial: sum_m c_m e^{-theta x} sum_{l<m} (theta x)^l / l!
+    //   = e^{-theta x} sum_l q_l x^l,   q_l = (theta^l / l!) sum_{m>l} c_m.
+    // Density polynomial: sum_m c_m theta^m x^{m-1} e^{-theta x} / (m-1)!
+    //   = e^{-theta x} sum_l d_l x^l,   d_l = c_{l+1} theta^{l+1} / l!.
+    std::vector<Complex> suffix(big_m);  // suffix[l] = sum_{m > l} c_m
+    Complex run{0.0, 0.0};
+    for (std::size_t l = big_m; l-- > 0;) {
+      run += t.coeff[l];
+      suffix[l] = run;
+    }
+    std::vector<Complex> q(big_m);
+    std::vector<Complex> d(big_m);
+    Complex theta_pow{1.0, 0.0};  // theta^l / l!
+    for (std::size_t l = 0; l < big_m; ++l) {
+      q[l] = theta_pow * suffix[l];
+      d[l] = theta_pow * t.theta * t.coeff[l];
+      theta_pow *= t.theta / static_cast<double>(l + 1);
+    }
+
+    if (is_real) {
+      real_decay_.push_back(a);
+      real_off_.push_back(static_cast<std::uint32_t>(real_tail_.size()));
+      real_len_.push_back(static_cast<std::uint32_t>(big_m));
+      for (std::size_t l = 0; l < big_m; ++l) {
+        real_tail_.push_back(q[l].real());
+        real_dens_.push_back(d[l].real());
+      }
+    } else {
+      // Pair contribution (theta and conjugate, coefficients conjugate):
+      //   2 Re(e^{-theta x} p(x)) =
+      //   e^{-a x} [cos(b x) 2 Re p(x) + sin(b x) 2 Im p(x)].
+      cplx_decay_.push_back(a);
+      cplx_freq_.push_back(b);
+      cplx_off_.push_back(static_cast<std::uint32_t>(cplx_tail_cos_.size()));
+      cplx_len_.push_back(static_cast<std::uint32_t>(big_m));
+      for (std::size_t l = 0; l < big_m; ++l) {
+        cplx_tail_cos_.push_back(2.0 * q[l].real());
+        cplx_tail_sin_.push_back(2.0 * q[l].imag());
+        cplx_dens_cos_.push_back(2.0 * d[l].real());
+        cplx_dens_sin_.push_back(2.0 * d[l].imag());
+      }
+    }
+  }
+
+  if (unpaired_negative != cplx_decay_.size()) {
+    throw std::invalid_argument(
+        "TailKernel: complex poles must come in conjugate pairs");
+  }
+  bracket_scale_ =
+      std::isfinite(min_decay) && min_decay > 0.0 ? 1.0 / min_decay : 1.0;
+}
+
+double TailKernel::compiled_tail(double x) const {
+  math::KahanSum acc;
+  const std::size_t nr = real_decay_.size();
+  for (std::size_t g = 0; g < nr; ++g) {
+    const double ax = real_decay_[g] * x;
+    if (ax > kExpUnderflow) continue;
+    acc.add(std::exp(-ax) *
+            horner(real_tail_.data() + real_off_[g], real_len_[g], x));
+  }
+  const std::size_t nc = cplx_decay_.size();
+  for (std::size_t g = 0; g < nc; ++g) {
+    const double ax = cplx_decay_[g] * x;
+    if (ax > kExpUnderflow) continue;
+    const double bx = cplx_freq_[g] * x;
+    const std::uint32_t off = cplx_off_[g];
+    const std::uint32_t len = cplx_len_[g];
+    acc.add(std::exp(-ax) *
+            (std::cos(bx) * horner(cplx_tail_cos_.data() + off, len, x) +
+             std::sin(bx) * horner(cplx_tail_sin_.data() + off, len, x)));
+  }
+  return acc.value();
+}
+
+double TailKernel::compiled_density(double x) const {
+  math::KahanSum acc;
+  const std::size_t nr = real_decay_.size();
+  for (std::size_t g = 0; g < nr; ++g) {
+    const double ax = real_decay_[g] * x;
+    if (ax > kExpUnderflow) continue;
+    acc.add(std::exp(-ax) *
+            horner(real_dens_.data() + real_off_[g], real_len_[g], x));
+  }
+  const std::size_t nc = cplx_decay_.size();
+  for (std::size_t g = 0; g < nc; ++g) {
+    const double ax = cplx_decay_[g] * x;
+    if (ax > kExpUnderflow) continue;
+    const double bx = cplx_freq_[g] * x;
+    const std::uint32_t off = cplx_off_[g];
+    const std::uint32_t len = cplx_len_[g];
+    acc.add(std::exp(-ax) *
+            (std::cos(bx) * horner(cplx_dens_cos_.data() + off, len, x) +
+             std::sin(bx) * horner(cplx_dens_sin_.data() + off, len, x)));
+  }
+  return acc.value();
+}
+
+double TailKernel::convolve_gl(double x, bool with_density) const {
+  // int_0^x f_V(w) g(x - w) dw with g = f_Y or P(Y > .). The mesh is
+  // geometric from 0 (f_V's transient lives at w ~ 1/max_decay_) and each
+  // panel is subdivided until neither V's oscillation nor the steepest
+  // decay rate outruns a 20-node rule.
+  const math::GaussLegendreRule& rule = math::gauss_legendre(kGlNodes);
+  const double rate =
+      std::max({max_freq_ / 2.5, max_decay_ / 15.0, y_->beta() / 15.0});
+  math::KahanSum acc;
+  double lo = 0.0;
+  for (int level = kGlLevels; level >= 0; --level) {
+    const double hi = level == 0 ? x : x * std::ldexp(1.0, -level);
+    const double width = hi - lo;
+    if (!(width > 0.0)) continue;
+    int pieces = 1;
+    if (rate > 0.0 && std::isfinite(rate)) {
+      pieces = std::clamp(static_cast<int>(std::ceil(width * rate)), 1, 64);
+    }
+    const double step = width / pieces;
+    for (int p = 0; p < pieces; ++p) {
+      const double mid = lo + (p + 0.5) * step;
+      const double half = 0.5 * step;
+      for (int i = 0; i < kGlNodes; ++i) {
+        const double w = mid + half * rule.nodes[i];
+        const double g =
+            with_density ? y_->density(x - w) : y_->tail(x - w);
+        acc.add(half * rule.weights[i] * compiled_density(w) * g);
+      }
+    }
+    lo = hi;
+  }
+  return acc.value();
+}
+
+double TailKernel::fallback_tail(double x) const {
+  // P(V + Y > x) = P(V > x) + c0_V P(Y > x) + int_0^x f_V P(Y > x - .).
+  math::KahanSum acc;
+  acc.add(compiled_tail(x));
+  acc.add(v_constant_ * y_->tail(x));
+  if (!real_decay_.empty() || !cplx_decay_.empty()) {
+    acc.add(convolve_gl(x, /*with_density=*/false));
+  }
+  return acc.value();
+}
+
+double TailKernel::fallback_density(double x) const {
+  math::KahanSum acc;
+  acc.add(v_constant_ * y_->density(x));
+  if (!real_decay_.empty() || !cplx_decay_.empty()) {
+    acc.add(convolve_gl(x, /*with_density=*/true));
+  }
+  return acc.value();
+}
+
+double TailKernel::tail(double x) const {
+  if (x <= 0.0) return 1.0 - atom_;
+  FPSQ_OBS_COUNT("queueing.kernel.tail_evals");
+  return fallback_ ? fallback_tail(x) : compiled_tail(x);
+}
+
+double TailKernel::density(double x) const {
+  if (x <= 0.0) return 0.0;
+  FPSQ_OBS_COUNT("queueing.kernel.density_evals");
+  return fallback_ ? fallback_density(x) : compiled_density(x);
+}
+
+void TailKernel::tail_many(std::span<const double> xs,
+                           std::span<double> out) const {
+  if (xs.size() != out.size()) {
+    throw std::invalid_argument("TailKernel::tail_many: size mismatch");
+  }
+  FPSQ_OBS_COUNT_N("queueing.kernel.tail_evals",
+                   static_cast<std::uint64_t>(xs.size()));
+  if (fallback_) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out[i] = xs[i] <= 0.0 ? 1.0 - atom_ : fallback_tail(xs[i]);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = xs[i] <= 0.0 ? 1.0 - atom_ : compiled_tail(xs[i]);
+  }
+}
+
+double TailKernel::quantile(double epsilon) const {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("TailKernel::quantile: epsilon in (0,1)");
+  }
+  if (tail(0.0) <= epsilon) return 0.0;
+  return invert_tail_newton([this](double x) { return tail(x); },
+                            [this](double x) { return density(x); },
+                            epsilon, bracket_scale_, "queueing.kernel");
+}
+
+}  // namespace fpsq::queueing

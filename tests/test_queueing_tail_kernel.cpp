@@ -1,0 +1,180 @@
+#include "queueing/tail_kernel.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "err/error.h"
+#include "queueing/convolution.h"
+#include "queueing/dek1.h"
+#include "queueing/position_delay.h"
+
+namespace fpsq::queueing {
+namespace {
+
+// The paper's operating range: burst sizes K in {2, 9, 20} crossed with
+// downstream loads from nearly idle to nearly saturated. K = 20 at low
+// load is the pole-clash regime that must take the quadrature fallback.
+const int kBurstSizes[] = {2, 9, 20};
+const double kLoads[] = {0.05, 0.3, 0.5, 0.7, 0.95};
+
+std::vector<double> probe_points(double mean) {
+  return {1e-3 * mean, 0.1 * mean, 0.5 * mean, mean,
+          2.0 * mean,  4.0 * mean, 8.0 * mean};
+}
+
+TEST(TailKernel, MatchesErlangMixMgfTailAndDensity) {
+  for (int k : kBurstSizes) {
+    for (double rho : kLoads) {
+      const DEk1Solver w{k, rho, 1.0};
+      if (w.degenerate()) continue;
+      const ErlangMixMgf& v = w.waiting_mgf();
+      const TailKernel kern{v};
+      EXPECT_TRUE(kern.closed_form());
+      EXPECT_NEAR(kern.atom(), v.constant_term(), 1e-12);
+      EXPECT_NEAR(kern.mean(), v.mean(), 1e-10 * (1.0 + v.mean()));
+      for (double x : probe_points(1.0)) {
+        EXPECT_NEAR(kern.tail(x), v.tail(x), 1e-9)
+            << "K=" << k << " rho=" << rho << " x=" << x;
+        EXPECT_NEAR(kern.density(x), v.density(x),
+                    1e-9 * (1.0 + std::abs(v.density(x))))
+            << "K=" << k << " rho=" << rho << " x=" << x;
+      }
+      EXPECT_NEAR(kern.tail(0.0), v.tail(0.0), 1e-12);
+      EXPECT_NEAR(kern.tail(-1.0), v.tail(-1.0), 1e-12);
+    }
+  }
+}
+
+TEST(TailKernel, MatchesErlangMixtureTail) {
+  for (int k : {2, 9, 20}) {
+    const auto y = position_delay_uniform_mixture(k, 2.0 * k);
+    const TailKernel kern{y};
+    EXPECT_TRUE(kern.closed_form());
+    EXPECT_NEAR(kern.atom(), 0.0, 1e-15);
+    for (double x : probe_points(y.mean())) {
+      EXPECT_NEAR(kern.tail(x), y.tail(x), 1e-12) << "K=" << k << " x=" << x;
+      EXPECT_NEAR(kern.density(x), y.density(x),
+                  1e-12 * (1.0 + y.density(x)))
+          << "K=" << k << " x=" << x;
+    }
+  }
+}
+
+TEST(TailKernel, ConvolvedMatchesQuadratureOracle) {
+  // Kernel vs the adaptive-quadrature reference across the full grid —
+  // including the ill-conditioned corner that forces the GL fallback.
+  for (int k : kBurstSizes) {
+    for (double rho : kLoads) {
+      const DEk1Solver w{k, rho, 1.0};
+      if (w.degenerate()) continue;
+      const auto y = position_delay_uniform_mixture(k, w.beta());
+      const TailKernel kern{w.waiting_mgf(), y};
+      const double mean = kern.mean();
+      for (double x : probe_points(mean)) {
+        const double oracle = convolved_tail(w.waiting_mgf(), y, x);
+        EXPECT_NEAR(kern.tail(x), oracle, 1e-9)
+            << "K=" << k << " rho=" << rho << " x=" << x
+            << " closed_form=" << kern.closed_form();
+      }
+      EXPECT_NEAR(kern.tail(0.0), 1.0, 1e-12);
+      EXPECT_NEAR(kern.mean(), convolved_mean(w.waiting_mgf(), y),
+                  1e-9 * (1.0 + mean));
+    }
+  }
+}
+
+TEST(TailKernel, PoleClashRegimeTakesFallbackAndStaysAccurate) {
+  // K = 20 at rho_d = 0.3: expanded partial fractions blow up to ~1e24
+  // with catastrophic cancellation, so the kernel must reject the closed
+  // form yet still match the adaptive oracle.
+  const int k = 20;
+  const DEk1Solver w{k, 0.3, 1.0};
+  ASSERT_FALSE(w.degenerate());
+  const auto y = position_delay_uniform_mixture(k, w.beta());
+  const TailKernel kern{w.waiting_mgf(), y};
+  EXPECT_FALSE(kern.closed_form());
+  double prev = 1.0 + 1e-12;
+  for (double x = 0.05; x <= 2.0; x += 0.05) {
+    const double oracle = convolved_tail(w.waiting_mgf(), y, x);
+    EXPECT_NEAR(kern.tail(x), oracle, 1e-9) << "x=" << x;
+    EXPECT_LE(kern.tail(x), prev + 1e-9) << "x=" << x;
+    prev = kern.tail(x);
+  }
+}
+
+TEST(TailKernel, ForcedQuadratureMatchesClosedForm) {
+  // A well-conditioned case evaluated both ways: the GL fallback must
+  // agree with the closed-form product to oracle accuracy.
+  const DEk1Solver w{9, 0.6, 1.0};
+  const auto y = position_delay_uniform_mixture(9, w.beta());
+  const TailKernel closed{w.waiting_mgf(), y};
+  ASSERT_TRUE(closed.closed_form());
+  TailKernel::Options opts;
+  opts.force_quadrature = true;
+  const TailKernel quad{w.waiting_mgf(), y, opts};
+  EXPECT_FALSE(quad.closed_form());
+  for (double x : probe_points(closed.mean())) {
+    EXPECT_NEAR(quad.tail(x), closed.tail(x), 1e-9) << "x=" << x;
+    EXPECT_NEAR(quad.density(x), closed.density(x),
+                1e-9 * (1.0 + closed.density(x)))
+        << "x=" << x;
+  }
+}
+
+TEST(TailKernel, QuantileRoundTripsThroughTail) {
+  for (int k : kBurstSizes) {
+    for (double rho : kLoads) {
+      const DEk1Solver w{k, rho, 1.0};
+      if (w.degenerate()) continue;
+      const auto y = position_delay_uniform_mixture(k, w.beta());
+      const TailKernel kern{w.waiting_mgf(), y};
+      for (double eps : {0.5, 1e-2, 1e-5, 1e-9}) {
+        const double q = kern.quantile(eps);
+        EXPECT_NEAR(kern.tail(q), eps, 2e-3 * eps)
+            << "K=" << k << " rho=" << rho << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(TailKernel, QuantileRoundTripsOnFallbackPath) {
+  const DEk1Solver w{20, 0.3, 1.0};
+  const auto y = position_delay_uniform_mixture(20, w.beta());
+  const TailKernel kern{w.waiting_mgf(), y};
+  ASSERT_FALSE(kern.closed_form());
+  for (double eps : {0.5, 1e-2, 1e-5}) {
+    const double q = kern.quantile(eps);
+    EXPECT_NEAR(kern.tail(q), eps, 2e-3 * eps) << "eps=" << eps;
+  }
+}
+
+TEST(TailKernel, TailManyMatchesScalarTail) {
+  const DEk1Solver w{9, 0.7, 1.0};
+  const auto y = position_delay_uniform_mixture(9, w.beta());
+  const TailKernel kern{w.waiting_mgf(), y};
+  std::vector<double> xs;
+  for (double x = -0.5; x <= 6.0; x += 0.131) xs.push_back(x);
+  std::vector<double> out(xs.size());
+  kern.tail_many(xs, out);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(out[i], kern.tail(xs[i])) << "i=" << i;
+  }
+  std::vector<double> short_out(2);
+  EXPECT_THROW(kern.tail_many(xs, short_out), std::invalid_argument);
+}
+
+TEST(TailKernel, QuantileValidatesEpsilonAndHandlesAtom) {
+  const auto v = ErlangMixMgf::atom_plus_exponential(0.99, {1.0, 0.0});
+  const TailKernel kern{v};
+  EXPECT_THROW(kern.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(kern.quantile(1.0), std::invalid_argument);
+  // tail(0) = 0.01 <= eps: quantile collapses to (numerically) zero.
+  EXPECT_EQ(kern.quantile(0.5), 0.0);
+  EXPECT_NEAR(kern.quantile(0.01), 0.0, 1e-12);
+  EXPECT_GT(kern.quantile(1e-4), 0.0);
+}
+
+}  // namespace
+}  // namespace fpsq::queueing
