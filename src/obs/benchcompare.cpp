@@ -213,6 +213,18 @@ BenchDiffReport diff_bench_collections(const json::Value& baseline,
     report.findings.push_back(std::move(f));
   };
 
+  // Benches only present in the current run — reported as warnings
+  // below, and used to hint at a likely rename when a baseline bench
+  // went missing (renames otherwise look like one disappearance plus
+  // one unrelated addition).
+  std::string only_in_current;
+  for (const BenchEntry& c : cur) {
+    if (find_bench(base, c.name) == nullptr) {
+      if (!only_in_current.empty()) only_in_current += ", ";
+      only_in_current += c.name;
+    }
+  }
+
   for (const BenchEntry& b : base) {
     const BenchEntry* c = find_bench(cur, b.name);
     if (c == nullptr) {
@@ -220,6 +232,10 @@ BenchDiffReport diff_bench_collections(const json::Value& baseline,
       f.bench = b.name;
       f.severity = BenchDiffFinding::Severity::kFail;
       f.note = "bench missing from current run";
+      if (!only_in_current.empty()) {
+        f.note += " (renamed? current-only benches: " + only_in_current +
+                  " — refresh the baseline if intentional)";
+      }
       add(std::move(f));
       continue;
     }

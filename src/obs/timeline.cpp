@@ -24,6 +24,11 @@ bool TimelineSampler::start(const Options& options) {
     return false;
   }
   options_ = options;
+  // Clamp tiny positive intervals: below kMinIntervalMs the sampler
+  // would degenerate into a hot spin on the registry mutex.
+  if (options_.interval_ms < kMinIntervalMs) {
+    options_.interval_ms = kMinIntervalMs;
+  }
   samples_.clear();
   started_at_ = std::chrono::steady_clock::now();
   stop_requested_ = false;
@@ -46,7 +51,7 @@ void TimelineSampler::sampling_loop() {
   }
 }
 
-void TimelineSampler::append_sample_locked() {
+TimelineSampler::Sample TimelineSampler::take_sample_locked() const {
   // snapshot() takes the registry mutex, not ours; recording threads
   // stay lock-free throughout.
   Sample s;
@@ -54,7 +59,11 @@ void TimelineSampler::append_sample_locked() {
                                         started_at_)
               .count();
   s.snapshot = MetricsRegistry::global().snapshot();
-  samples_.push_back(std::move(s));
+  return s;
+}
+
+void TimelineSampler::append_sample_locked() {
+  samples_.push_back(take_sample_locked());
 }
 
 bool TimelineSampler::stop_and_write() {
@@ -70,7 +79,18 @@ bool TimelineSampler::stop_and_write() {
   std::string path;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    append_sample_locked();
+    // The forced final sample. When the run ended right on an interval
+    // boundary the periodic loop just sampled; emitting both would put
+    // two near-identical entries at the tail of the series, so a last
+    // periodic sample younger than half an interval is replaced instead.
+    Sample final_sample = take_sample_locked();
+    const double half_interval_s = 0.5 * options_.interval_ms * 1e-3;
+    if (!samples_.empty() &&
+        final_sample.t_s - samples_.back().t_s < half_interval_s) {
+      samples_.back() = std::move(final_sample);
+    } else {
+      samples_.push_back(std::move(final_sample));
+    }
     running_ = false;
     finalized_ = true;
     body = to_json_locked_unsafe();

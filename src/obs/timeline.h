@@ -30,8 +30,14 @@ class TimelineSampler {
  public:
   struct Options {
     std::string path;
+    /// Sampling period. Non-positive values are rejected by start();
+    /// positive values below kMinIntervalMs are clamped up to it so a
+    /// misconfigured interval can never hot-spin the sampler thread.
     double interval_ms = 100.0;
   };
+
+  /// Smallest accepted sampling period [ms]; see Options::interval_ms.
+  static constexpr double kMinIntervalMs = 1.0;
 
   TimelineSampler() = default;
   /// Stops the sampling thread if still running (without writing).
@@ -46,9 +52,11 @@ class TimelineSampler {
   bool start(const Options& options);
 
   /// Stops the sampler, appends one final sample, and writes the full
-  /// series to `options.path`. Returns false on I/O failure or when
-  /// start() was never called. Idempotent: a second call is a no-op
-  /// returning true.
+  /// series to `options.path`. When the run ends right on an interval
+  /// boundary (the last periodic sample is less than half an interval
+  /// old), the final sample *replaces* it instead of duplicating it.
+  /// Returns false on I/O failure or when start() was never called.
+  /// Idempotent: a second call is a no-op returning true.
   bool stop_and_write();
 
   [[nodiscard]] bool running() const;
@@ -70,6 +78,7 @@ class TimelineSampler {
   };
 
   void sampling_loop();
+  [[nodiscard]] Sample take_sample_locked() const;
   void append_sample_locked();
   [[nodiscard]] std::string to_json_locked_unsafe() const;
 

@@ -98,6 +98,13 @@ void set_global_thread_count(unsigned n);
 /// The default worker count: the FPSQ_THREADS environment variable when
 /// set to a positive integer, otherwise std::thread::hardware_concurrency
 /// (at least 1).
+///
+/// The zero rule, everywhere a thread count is configured: 0 always
+/// means "pick for me" (hardware concurrency), never a zero-worker
+/// pool. `FPSQ_THREADS=0`, `--threads 0` on any fpsq command (including
+/// `fpsq serve`) and ThreadPool{0} / set_global_thread_count(0) all
+/// resolve through this function; a non-numeric or negative FPSQ_THREADS
+/// likewise falls back to hardware concurrency.
 [[nodiscard]] unsigned default_thread_count();
 
 }  // namespace fpsq::par

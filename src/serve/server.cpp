@@ -1,0 +1,347 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fpsq::serve {
+
+// ---- FdSink ---------------------------------------------------------------
+
+FdSink::~FdSink() {
+  if (close_ && fd_ >= 0) ::close(fd_);
+}
+
+void FdSink::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string buf = line;
+  buf += '\n';
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // receiver gone (EPIPE, closed socket): drop the response
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// ---- Server ---------------------------------------------------------------
+
+Server::Server(ServerOptions options) : options_(options), engine_(options.engine) {
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+Server::~Server() { drain(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  batcher_ = std::thread([this] { batch_loop(); });
+}
+
+void Server::submit_line(const std::string& line,
+                         std::shared_ptr<Sink> sink) {
+  if (line.find_first_not_of(" \t\r\n") == std::string::npos) return;
+  FPSQ_OBS_COUNT("serve.requests");
+  ParsedRequest parsed = parse_request(line);
+  parsed.request.admitted_at = std::chrono::steady_clock::now();
+  if (parsed.ok && parsed.request.deadline_ms <= 0.0) {
+    parsed.request.deadline_ms = options_.default_deadline_ms;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!closed_ && queue_.size() < options_.max_queue) {
+      queue_.push_back(Item{std::move(parsed), std::move(sink)});
+      FPSQ_OBS_GAUGE_SET("serve.queue_depth",
+                         static_cast<double>(queue_.size()));
+      FPSQ_OBS_GAUGE_MAX("serve.queue_depth_peak",
+                         static_cast<double>(queue_.size()));
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  // Queue full (or input already closed): shed instead of blocking the
+  // reader. The response is written here, from the reader thread.
+  FPSQ_OBS_COUNT("serve.shed");
+  FPSQ_OBS_COUNT("serve.responses");
+  sink->write_line(error_response(
+      parsed.id, kShed,
+      "server overloaded: request queue is full or draining"));
+}
+
+void Server::close_input() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void Server::drain() {
+  close_input();
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (batcher_.joinable()) joinable = std::move(batcher_);
+  }
+  if (joinable.joinable()) joinable.join();
+}
+
+void Server::batch_loop() {
+  FPSQ_SPAN("serve.server.batch_loop");
+  const auto tick =
+      std::chrono::duration<double, std::milli>(options_.tick_ms);
+  for (;;) {
+    std::vector<Item> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) return;  // closed + drained
+      if (queue_.size() < options_.max_batch && !closed_) {
+        // Micro-batch gather window: give same-tick requests a chance
+        // to land in this batch (and be deduplicated / share cache).
+        work_cv_.wait_for(lock, tick, [&] {
+          return queue_.size() >= options_.max_batch || closed_;
+        });
+      }
+      const std::size_t take =
+          std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      FPSQ_OBS_GAUGE_SET("serve.queue_depth",
+                         static_cast<double>(queue_.size()));
+    }
+    std::vector<ParsedRequest> requests;
+    requests.reserve(batch.size());
+    for (const Item& item : batch) requests.push_back(item.parsed);
+    const auto responses = engine_.execute(requests);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].sink->write_line(responses[i]);
+    }
+  }
+}
+
+// ---- CLI front ends -------------------------------------------------------
+
+namespace {
+
+// Self-pipe drain signalling: the SIGTERM/SIGINT handler writes one byte
+// to a pipe every reader poll()s alongside its input fd, so a blocked
+// reader wakes no matter which thread the signal was delivered to.
+std::atomic<int> g_stop_pipe_wr{-1};
+
+void drain_signal_handler(int) {
+  const int fd = g_stop_pipe_wr.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+/// RAII: self-pipe + SIGTERM/SIGINT handlers for the lifetime of a serve
+/// front end; restores the previous handlers on destruction.
+class DrainSignals {
+ public:
+  DrainSignals() {
+    if (::pipe(pipe_fds_) != 0) {
+      pipe_fds_[0] = pipe_fds_[1] = -1;
+      return;
+    }
+    g_stop_pipe_wr.store(pipe_fds_[1], std::memory_order_relaxed);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = drain_signal_handler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: blocked syscalls return EINTR
+    ::sigaction(SIGTERM, &sa, &old_term_);
+    ::sigaction(SIGINT, &sa, &old_int_);
+    installed_ = true;
+  }
+
+  ~DrainSignals() {
+    if (installed_) {
+      ::sigaction(SIGTERM, &old_term_, nullptr);
+      ::sigaction(SIGINT, &old_int_, nullptr);
+    }
+    g_stop_pipe_wr.store(-1, std::memory_order_relaxed);
+    if (pipe_fds_[0] >= 0) ::close(pipe_fds_[0]);
+    if (pipe_fds_[1] >= 0) ::close(pipe_fds_[1]);
+  }
+
+  /// Read end of the self-pipe; readable once a drain was requested.
+  [[nodiscard]] int stop_fd() const noexcept { return pipe_fds_[0]; }
+
+  [[nodiscard]] bool stop_requested() const {
+    if (pipe_fds_[0] < 0) return false;
+    struct pollfd p{pipe_fds_[0], POLLIN, 0};
+    return ::poll(&p, 1, 0) > 0;
+  }
+
+ private:
+  int pipe_fds_[2] = {-1, -1};
+  struct sigaction old_term_{};
+  struct sigaction old_int_{};
+  bool installed_ = false;
+};
+
+/// Buffered NDJSON line reader over an fd, waking on the stop pipe.
+/// next_line() returns false on EOF, error, or drain request (a partial
+/// unterminated final line is still delivered before EOF).
+class LineReader {
+ public:
+  LineReader(int fd, int stop_fd) : fd_(fd), stop_fd_(stop_fd) {}
+
+  bool next_line(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n', scan_);
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        scan_ = 0;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+      scan_ = buf_.size();
+      if (eof_) {
+        if (buf_.empty()) return false;
+        line = std::move(buf_);
+        buf_.clear();
+        scan_ = 0;
+        return true;
+      }
+      if (!fill()) eof_ = true;
+    }
+  }
+
+ private:
+  bool fill() {
+    struct pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {stop_fd_, POLLIN, 0};
+    const int nfds = stop_fd_ >= 0 ? 2 : 1;
+    for (;;) {
+      const int pr = ::poll(fds, nfds, -1);
+      if (pr < 0) {
+        if (errno == EINTR) continue;  // stop pipe decides, not EINTR
+        return false;
+      }
+      if (fds[1].revents != 0) return false;  // drain requested
+      if (fds[0].revents == 0) continue;
+      break;
+    }
+    char chunk[65536];
+    for (;;) {
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+  }
+
+  int fd_;
+  int stop_fd_;
+  std::string buf_;
+  std::size_t scan_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace
+
+int run_stdio(const ServerOptions& options) {
+  DrainSignals signals;
+  Server server(options);
+  server.start();
+  auto sink = std::make_shared<FdSink>(STDOUT_FILENO);
+  LineReader reader(STDIN_FILENO, signals.stop_fd());
+  std::string line;
+  while (reader.next_line(line)) {
+    server.submit_line(line, sink);
+  }
+  server.drain();  // EOF or signal: answer everything admitted, exit 0
+  return 0;
+}
+
+int run_listen(int port, const ServerOptions& options) {
+  DrainSignals signals;
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("fpsq serve: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    std::perror("fpsq serve: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::printf("fpsq serve: listening on 127.0.0.1:%d\n", port);
+  std::fflush(stdout);
+
+  Server server(options);
+  server.start();
+  std::vector<std::thread> readers;
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0] = {listen_fd, POLLIN, 0};
+    fds[1] = {signals.stop_fd(), POLLIN, 0};
+    const int pr = ::poll(fds, signals.stop_fd() >= 0 ? 2 : 1, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // drain requested
+    if (fds[0].revents == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    FPSQ_OBS_COUNT("serve.connections");
+    readers.emplace_back([conn, &server, &signals] {
+      // The sink owns the connection fd: it closes once the reader AND
+      // the last queued response for this connection are done with it.
+      auto sink = std::make_shared<FdSink>(conn, /*close_on_destroy=*/true);
+      LineReader reader(conn, signals.stop_fd());
+      std::string line;
+      while (reader.next_line(line)) {
+        server.submit_line(line, sink);
+      }
+      ::shutdown(conn, SHUT_RD);
+    });
+  }
+  ::close(listen_fd);
+  for (std::thread& t : readers) t.join();
+  server.drain();
+  return 0;
+}
+
+}  // namespace fpsq::serve

@@ -1,0 +1,137 @@
+// fpsq::serve — the long-running front end behind `fpsq serve`:
+// admission control + micro-batching around serve::Engine.
+//
+// Structure (see docs/SERVING.md):
+//
+//   reader thread(s)                 batch thread
+//   ----------------                 ------------------------------
+//   read NDJSON line                 wait for work (or drain)
+//   parse_request()                  gather <= max_batch items, up to
+//   queue full? -> shed response       tick_ms after the first arrival
+//   else enqueue {request, sink}     Engine::execute(batch)
+//                                    write responses to each item's sink
+//
+// Admission control: the request queue is bounded (ServerOptions::
+// max_queue). A request arriving at a full queue is answered immediately
+// with a `shed` error — the server degrades by shedding load, it never
+// blocks the reader or grows without bound. Each admitted request is
+// stamped and may carry a deadline (its own, or ServerOptions::
+// default_deadline_ms); expired requests are answered with
+// `deadline_exceeded` instead of being executed.
+//
+// Drain: close_input() (EOF or SIGTERM/SIGINT in the CLI front ends)
+// stops admission; the batch thread keeps executing until the queue is
+// empty, every admitted request gets its response, and drain() joins.
+// The CLI front ends exit 0 after a signal-initiated drain.
+//
+// Ordering: responses on one sink are written in admission order by the
+// single batch thread. Shed responses are written by the reader at
+// admission time and may therefore interleave with earlier queued
+// requests' responses.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/engine.h"
+#include "serve/request.h"
+
+namespace fpsq::serve {
+
+/// One response channel. write_line() appends the newline and must be
+/// safe to call from the reader (sheds) and batch threads concurrently.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write_line(const std::string& line) = 0;
+};
+
+/// Sink over a file descriptor. With close_on_destroy, the fd is closed
+/// when the last shared_ptr owner lets go — which in the socket front
+/// end is after the connection reader exited AND its last queued
+/// response was written, giving connection-lifetime management for free.
+class FdSink : public Sink {
+ public:
+  explicit FdSink(int fd, bool close_on_destroy = false)
+      : fd_(fd), close_(close_on_destroy) {}
+  ~FdSink() override;
+  void write_line(const std::string& line) override;
+
+ private:
+  std::mutex mu_;
+  int fd_;
+  bool close_;
+};
+
+struct ServerOptions {
+  EngineOptions engine;
+  std::size_t max_queue = 1024;  ///< admission bound (>= 1)
+  std::size_t max_batch = 64;    ///< micro-batch size cap (>= 1)
+  /// Gather window: after the first request of a batch arrives, wait up
+  /// to this long for the batch to fill before executing.
+  double tick_ms = 2.0;
+  /// Deadline applied to requests that do not carry their own; 0 = none.
+  double default_deadline_ms = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Starts the batch thread. Call once, before the first submit.
+  void start();
+
+  /// Parses + admits one request line (empty lines are ignored). Called
+  /// from reader threads; answers shed/parse failures through `sink`.
+  void submit_line(const std::string& line, std::shared_ptr<Sink> sink);
+
+  /// Stops admission: later submits are shed, and the batch thread exits
+  /// once the queue is empty. Idempotent, callable from any thread.
+  void close_input();
+
+  /// close_input() + join the batch thread once everything admitted has
+  /// been answered.
+  void drain();
+
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Item {
+    ParsedRequest parsed;
+    std::shared_ptr<Sink> sink;
+  };
+
+  void batch_loop();
+
+  ServerOptions options_;
+  Engine engine_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Item> queue_;
+  bool closed_ = false;
+  bool started_ = false;
+  std::thread batcher_;
+};
+
+/// `fpsq serve --stdin`: requests from stdin, responses to stdout,
+/// graceful drain on EOF or SIGTERM/SIGINT. Returns the process exit
+/// code (0 on a clean or signal-initiated drain).
+int run_stdio(const ServerOptions& options);
+
+/// `fpsq serve --listen PORT`: accepts connections on 127.0.0.1:PORT,
+/// one reader thread per connection feeding the shared engine, responses
+/// back on the connection in admission order. Drains on SIGTERM/SIGINT.
+int run_listen(int port, const ServerOptions& options);
+
+}  // namespace fpsq::serve

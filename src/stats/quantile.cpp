@@ -44,25 +44,42 @@ void P2Quantile::add(double x) {
   // Adjust interior markers by parabolic (or linear) interpolation.
   for (int i = 1; i <= 3; ++i) {
     const double d = np_[i] - n_[i];
-    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
-        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
-      const double s = d >= 0 ? 1.0 : -1.0;
-      // Piecewise-parabolic prediction.
-      const double qp =
-          q_[i] + s / (n_[i + 1] - n_[i - 1]) *
-                      ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) /
-                           (n_[i + 1] - n_[i]) +
-                       (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) /
-                           (n_[i] - n_[i - 1]));
-      if (q_[i - 1] < qp && qp < q_[i + 1]) {
-        q_[i] = qp;
-      } else {
-        // Linear fallback.
-        const int j = i + static_cast<int>(s);
-        q_[i] += s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
-      }
-      n_[i] += s;
+    const bool up = d >= 1.0 && n_[i + 1] - n_[i] > 1.0;
+    const bool down = d <= -1.0 && n_[i - 1] - n_[i] < -1.0;
+    if (!up && !down) continue;
+    const double s = up ? 1.0 : -1.0;
+    // Marker-position gaps. The move guard above plus the integer-step
+    // updates keep the positions strictly increasing, so these are >= 1
+    // in every reachable state; the explicit checks below make any
+    // degenerate state fall back to the linear update rather than
+    // divide by zero.
+    const double gap_outer = n_[i + 1] - n_[i - 1];
+    const double gap_up = n_[i + 1] - n_[i];
+    const double gap_down = n_[i] - n_[i - 1];
+    // Piecewise-parabolic prediction (Jain & Chlamtac). With adjacent
+    // marker heights exactly equal (duplicate-heavy input) both height
+    // differences vanish, qp collapses to q_[i], and the strict
+    // acceptance test below rejects it — constant input is therefore
+    // always routed to the linear fallback, where the height increment
+    // is exactly zero.
+    double qp = q_[i];
+    if (gap_outer > 0.0 && gap_up > 0.0 && gap_down > 0.0) {
+      qp = q_[i] + s / gap_outer *
+                       ((gap_down + s) * (q_[i + 1] - q_[i]) / gap_up +
+                        (gap_up - s) * (q_[i] - q_[i - 1]) / gap_down);
     }
+    if (q_[i - 1] < qp && qp < q_[i + 1]) {
+      q_[i] = qp;
+    } else {
+      // Linear fallback; skipped entirely (position-only move) if the
+      // neighbour gap is degenerate.
+      const int j = i + static_cast<int>(s);
+      const double gap_j = n_[j] - n_[i];
+      if (gap_j * s > 0.0) {
+        q_[i] += s * (q_[j] - q_[i]) / gap_j;
+      }
+    }
+    n_[i] += s;
   }
 }
 

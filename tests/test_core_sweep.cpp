@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "err/fault_injection.h"
 #include "par/thread_pool.h"
 #include "queueing/solver_cache.h"
 
@@ -195,4 +196,63 @@ TEST(MixedPopulation, ParallelPopulationsMatchDirectModels) {
     EXPECT_EQ(points[i].mean_wait_ms, direct.mean_wait_ms());
   }
   EXPECT_LT(points[0].rho, points[3].rho);
+}
+
+// Warm-chain restart after a mid-chain solver failure: when a point
+// inside a warm-chained chunk degrades to the Kingman bound, the next
+// point must restart from the canonical cold state (prev.reset()), so
+// the chained run stays bit-identical to the unchained one on every
+// surviving point. Exercises the seed reference path
+// (use_tail_kernel = false), where zeta warm starts actually feed the
+// root finder.
+TEST(RttSweep, WarmChainRestartsBitIdenticalAfterMidChainFailure) {
+  namespace err = fpsq::err;
+  const auto scenario = paper_scenario();
+  core::RttSweepSpec spec;
+  spec.scenario = scenario;
+  spec.n_values = load_grid(scenario);  // 17 points, rho 0.05 .. 0.85
+  spec.use_cache = false;               // isolate chaining from caching
+  spec.use_tail_kernel = false;
+  spec.on_failure = err::FailurePolicy::kFallbackBound;
+  par::set_global_thread_count(1);  // one chunk run = one warm chain
+
+  // Fail exactly rho = 0.25: index 4, strictly inside the first
+  // kWarmChunk run, with warm-chained successors after it.
+  err::clear_faults();
+  err::inject_fault("queueing.dek1",
+                    err::SolverErrorCode::kNonConvergence, 0.24, 0.26);
+
+  core::RttSweepSpec chained = spec;
+  chained.warm_chaining = true;
+  const auto warm = core::sweep_rtt_quantiles(chained);
+
+  core::RttSweepSpec unchained = spec;
+  unchained.warm_chaining = false;
+  const auto cold = core::sweep_rtt_quantiles(unchained);
+  err::clear_faults();
+
+  ASSERT_EQ(warm.size(), spec.n_values.size());
+  ASSERT_EQ(cold.size(), spec.n_values.size());
+
+  // The faulted point degraded to the bound, in both runs.
+  EXPECT_TRUE(warm[4].fallback_bound);
+  EXPECT_TRUE(cold[4].fallback_bound);
+  EXPECT_EQ(warm[4].error, err::SolverErrorCode::kNonConvergence);
+
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    // Bitwise: a stale zeta surviving the failed point would show up
+    // as a few-ulp drift on points 5..7 long before it is "wrong".
+    EXPECT_EQ(warm[i].rtt_quantile_ms, cold[i].rtt_quantile_ms)
+        << "point " << i;
+    EXPECT_EQ(warm[i].rtt_mean_ms, cold[i].rtt_mean_ms) << "point " << i;
+    EXPECT_EQ(warm[i].downstream_quantile_ms,
+              cold[i].downstream_quantile_ms)
+        << "point " << i;
+    EXPECT_EQ(warm[i].failed, cold[i].failed) << "point " << i;
+    EXPECT_EQ(warm[i].fallback_bound, cold[i].fallback_bound)
+        << "point " << i;
+    if (warm[i].fallback_bound) ++degraded;
+  }
+  EXPECT_EQ(degraded, 1u);  // only the injected point degraded
 }

@@ -138,6 +138,40 @@ TEST(ObsBenchdiff, BenchMissingFromCurrentFails) {
   EXPECT_TRUE(found);
 }
 
+// A rename shows up as one bench missing plus one current-only bench:
+// the missing-bench failure must carry the rename hint naming the
+// current-only candidates, so the verdict explains itself.
+TEST(ObsBenchdiff, MissingBenchNamesRenameCandidates) {
+  const auto r = diff(
+      R"({"benches": [{"name": "old_name", "metrics": {"x": 1}}]})",
+      R"({"benches": [{"name": "new_name", "metrics": {"x": 1}}]})");
+  EXPECT_EQ(r.exit_code(), 4);  // missing bench stays a hard failure
+  bool hinted = false;
+  for (const auto& f : r.findings) {
+    if (f.bench == "old_name" &&
+        f.severity == BenchDiffFinding::Severity::kFail &&
+        f.note.find("new_name") != std::string::npos &&
+        f.note.find("renamed?") != std::string::npos) {
+      hinted = true;
+    }
+  }
+  EXPECT_TRUE(hinted);
+}
+
+// No current-only benches: a plain removal must NOT claim a rename.
+TEST(ObsBenchdiff, PlainRemovalHasNoRenameHint) {
+  const auto r = diff(
+      R"({"benches": [{"name": "a", "metrics": {"x": 1}},
+                      {"name": "b", "metrics": {"x": 1}}]})",
+      R"({"benches": [{"name": "a", "metrics": {"x": 1}}]})");
+  EXPECT_EQ(r.exit_code(), 4);
+  for (const auto& f : r.findings) {
+    if (f.bench == "b") {
+      EXPECT_EQ(f.note.find("renamed?"), std::string::npos) << f.note;
+    }
+  }
+}
+
 TEST(ObsBenchdiff, NewBenchInCurrentOnlyWarns) {
   const auto r = diff(
       R"({"benches": [{"name": "a", "metrics": {"x": 1}}]})",

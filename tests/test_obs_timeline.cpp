@@ -82,6 +82,10 @@ TEST(ObsTimeline, SeriesIsSchemaValidAndFinalSampleMatchesRegistry) {
     });
   }
   for (auto& w : workers) w.join();
+  // Let the run span several intervals: the final forced sample replaces
+  // a periodic sample taken within the last half interval, so interior
+  // samples must exist on their own for the >= 2 assertion below.
+  std::this_thread::sleep_for(std::chrono::milliseconds(7));
 
   ASSERT_TRUE(s.stop_and_write());
   EXPECT_FALSE(s.running());
@@ -150,6 +154,52 @@ TEST(ObsTimeline, ToJsonMatchesWrittenFile) {
   ASSERT_TRUE(s.start({path, 1000.0}));
   ASSERT_TRUE(s.stop_and_write());
   EXPECT_EQ(slurp(path), s.to_json() + "\n");
+}
+
+// Tiny positive intervals are clamped up to kMinIntervalMs rather than
+// rejected: a 1 us request must neither fail nor hot-spin the sampler
+// thread, and the written series must advertise the clamped interval.
+TEST(ObsTimeline, TinyIntervalIsClampedNotRejected) {
+  const std::string path = ::testing::TempDir() + "tl_clamp.json";
+  TimelineSampler s;
+  ASSERT_TRUE(s.start({path, 0.001}));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(s.stop_and_write());
+  const auto v = fpsq::obs::json::parse(slurp(path));
+  EXPECT_DOUBLE_EQ(v.number_or("interval_ms", -1.0),
+                   TimelineSampler::kMinIntervalMs);
+  // Clamped to 1 ms over a ~5 ms run: a hot spin would have produced
+  // thousands of samples, the clamp allows at most a handful.
+  const auto* samples = v.find("samples");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_LE(samples->array.size(), 32u);
+}
+
+// When the run ends right on an interval boundary, the forced final
+// sample must replace the just-taken periodic one instead of appending a
+// near-duplicate: no two samples may be closer than half an interval.
+TEST(ObsTimeline, FinalSampleNotDuplicatedOnIntervalBoundary) {
+  const std::string path = ::testing::TempDir() + "tl_dedup.json";
+  // Run several times to fish for the race where the periodic tick and
+  // stop_and_write() land nearly simultaneously.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    TimelineSampler s;
+    ASSERT_TRUE(s.start({path, 2.0}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(6));
+    ASSERT_TRUE(s.stop_and_write());
+    const auto v = fpsq::obs::json::parse(slurp(path));
+    const auto* samples = v.find("samples");
+    ASSERT_NE(samples, nullptr);
+    const auto& arr = samples->array;
+    ASSERT_GE(arr.size(), 1u);  // the final sample is always there
+    const double half_interval_s = 0.5 * 2.0 * 1e-3;
+    for (std::size_t i = 1; i < arr.size(); ++i) {
+      const double dt = arr[i].number_or("t_s", 0.0) -
+                        arr[i - 1].number_or("t_s", 0.0);
+      EXPECT_GE(dt, half_interval_s)
+          << "attempt " << attempt << ", samples " << i - 1 << "," << i;
+    }
+  }
 }
 
 }  // namespace

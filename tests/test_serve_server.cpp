@@ -1,0 +1,182 @@
+// serve::Server: admission control (bounded queue, shed responses),
+// micro-batching, admission-order responses, and drain semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/server.h"
+
+namespace fpsq {
+namespace {
+
+using serve::Server;
+using serve::ServerOptions;
+using serve::Sink;
+
+/// Thread-safe in-memory sink standing in for a connection.
+class CollectSink : public Sink {
+ public:
+  void write_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    lines_.push_back(line);
+  }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+std::string error_code_of(const std::string& response) {
+  const auto v = obs::json::parse(response);
+  if (const auto* e = v.find("error")) return e->string_or("code", "");
+  return "";
+}
+
+std::string id_of(const std::string& response) {
+  const auto v = obs::json::parse(response);
+  return v.string_or("id", "");
+}
+
+TEST(ServeServer, AnswersEveryAdmittedRequestInOrder) {
+  ServerOptions opts;
+  opts.max_batch = 4;
+  opts.tick_ms = 1.0;
+  Server server{opts};
+  auto sink = std::make_shared<CollectSink>();
+
+  // Enqueue before start(): everything lands in one deterministic queue.
+  for (int i = 0; i < 6; ++i) {
+    server.submit_line(
+        R"({"id":"r)" + std::to_string(i) + R"(","op":"rtt","gamers":60})",
+        sink);
+  }
+  server.start();
+  server.drain();
+
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(id_of(lines[i]), "r" + std::to_string(i));
+    EXPECT_EQ(error_code_of(lines[i]), "");
+  }
+}
+
+TEST(ServeServer, FullQueueShedsDeterministically) {
+  ServerOptions opts;
+  opts.max_queue = 2;
+  Server server{opts};
+  auto sink = std::make_shared<CollectSink>();
+
+  // Not started yet, so the queue cannot move: the third submit must
+  // bounce off the admission bound.
+  server.submit_line(R"({"id":"a","op":"rtt"})", sink);
+  server.submit_line(R"({"id":"b","op":"rtt"})", sink);
+  server.submit_line(R"({"id":"c","op":"rtt"})", sink);
+
+  // The shed response is written synchronously at admission time.
+  auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(id_of(lines[0]), "c");
+  EXPECT_EQ(error_code_of(lines[0]), "shed");
+
+  server.start();
+  server.drain();
+  lines = sink->lines();
+  ASSERT_EQ(lines.size(), 3u);  // shed + the two admitted
+  EXPECT_EQ(error_code_of(lines[1]), "");
+  EXPECT_EQ(error_code_of(lines[2]), "");
+}
+
+TEST(ServeServer, SubmitAfterCloseIsShed) {
+  Server server;
+  auto sink = std::make_shared<CollectSink>();
+  server.start();
+  server.close_input();
+  server.submit_line(R"({"id":"late","op":"rtt"})", sink);
+  server.drain();
+
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(id_of(lines[0]), "late");
+  EXPECT_EQ(error_code_of(lines[0]), "shed");
+}
+
+TEST(ServeServer, EmptyLinesAreIgnored) {
+  Server server;
+  auto sink = std::make_shared<CollectSink>();
+  server.submit_line("", sink);
+  server.submit_line("   ", sink);
+  server.submit_line("\t", sink);
+  server.start();
+  server.drain();
+  EXPECT_TRUE(sink->lines().empty());
+}
+
+TEST(ServeServer, MalformedLineGetsBadRequestResponse) {
+  Server server;
+  auto sink = std::make_shared<CollectSink>();
+  server.submit_line("{broken", sink);
+  server.start();
+  server.drain();
+
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(error_code_of(lines[0]), "bad_request");
+}
+
+TEST(ServeServer, DefaultDeadlineAppliesToBareRequests) {
+  ServerOptions opts;
+  opts.default_deadline_ms = 1e9;  // effectively infinite: must NOT trip
+  Server server{opts};
+  auto sink = std::make_shared<CollectSink>();
+  server.submit_line(R"({"id":"d","op":"rtt"})", sink);
+  server.start();
+  server.drain();
+
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(error_code_of(lines[0]), "");
+}
+
+TEST(ServeServer, DrainIsIdempotent) {
+  Server server;
+  auto sink = std::make_shared<CollectSink>();
+  server.start();
+  server.submit_line(R"({"id":"x","op":"rtt"})", sink);
+  server.drain();
+  server.drain();  // second drain must be a no-op, not a crash
+  EXPECT_EQ(sink->lines().size(), 1u);
+}
+
+TEST(ServeServer, DestructorDrains) {
+  auto sink = std::make_shared<CollectSink>();
+  {
+    Server server;
+    server.start();
+    server.submit_line(R"({"id":"dtor","op":"rtt"})", sink);
+  }  // ~Server drains: the admitted request must still be answered
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(id_of(lines[0]), "dtor");
+}
+
+TEST(ServeServer, OptionsClampToSaneMinimums) {
+  ServerOptions opts;
+  opts.max_queue = 0;
+  opts.max_batch = 0;
+  Server server{opts};
+  EXPECT_GE(server.options().max_queue, 1u);
+  EXPECT_GE(server.options().max_batch, 1u);
+}
+
+}  // namespace
+}  // namespace fpsq

@@ -3,6 +3,7 @@
 //   fpsq rtt        --gamers N [scenario flags]       ping-time quantiles
 //   fpsq dimension  --bound MS [scenario flags]       max load / gamers
 //   fpsq sweep      [scenario flags]                  load sweep (CSV)
+//   fpsq serve      [--stdin 1 | --listen PORT]       NDJSON request engine
 //   fpsq generate   --game NAME --out FILE [...]      synthetic trace
 //   fpsq analyze    --in FILE [--pcap ...]            Section-2.2 stats + K fits
 //   fpsq validate   --load RHO [...]                  model vs simulation
@@ -29,6 +30,7 @@
 
 #include "core/dimensioning.h"
 #include "core/report.h"
+#include "serve/server.h"
 #include "core/rtt_model.h"
 #include "core/sweep.h"
 #include "core/validation.h"
@@ -202,12 +204,16 @@ class Args {
 };
 
 /// Applies the global execution flags shared by every command:
-///   --threads N   worker count (default: FPSQ_THREADS env, else cores)
+///   --threads N   worker count; 0 = hardware concurrency, matching
+///                 FPSQ_THREADS=0 (default: FPSQ_THREADS env, else cores)
 ///   --cache 0|1   solver memoization (default on)
 void apply_execution_flags(const Args& args) {
   if (args.has("threads")) {
     const long long t = args.integer("threads", 0);
-    args.require(t >= 1, "threads", ">= 1");
+    // The zero rule (see par/thread_pool.h): 0 means "pick for me" —
+    // set_global_thread_count(0) resolves to default_thread_count(),
+    // exactly as FPSQ_THREADS=0 does. It is never a zero-worker pool.
+    args.require(t >= 0, "threads", ">= 0 (0 = hardware concurrency)");
     par::set_global_thread_count(static_cast<unsigned>(t));
   }
   const long long cache = args.integer("cache", 1);
@@ -363,6 +369,36 @@ int cmd_sweep(const Args& args) {
                 points[i].rtt_mean_ms, status);
   }
   return 0;
+}
+
+/// `fpsq serve`: long-running NDJSON request engine (docs/SERVING.md).
+/// Stdin mode is the default; --listen PORT accepts loopback TCP
+/// connections instead. Exits 0 on a clean or signal-initiated drain.
+int cmd_serve(const Args& args) {
+  serve::ServerOptions opt;
+  const long long queue = args.integer("queue", 1024);
+  args.require(queue >= 1, "queue", "an integer >= 1");
+  opt.max_queue = static_cast<std::size_t>(queue);
+  const long long batch = args.integer("batch", 64);
+  args.require(batch >= 1, "batch", "an integer >= 1");
+  opt.max_batch = static_cast<std::size_t>(batch);
+  opt.tick_ms = args.number("tick-ms", 2.0);
+  args.require(opt.tick_ms >= 0.0, "tick-ms", ">= 0 [ms]");
+  opt.default_deadline_ms = args.number("deadline-ms", 0.0);
+  args.require(opt.default_deadline_ms >= 0.0, "deadline-ms", ">= 0 [ms]");
+  const long long precision = args.integer("precision", 17);
+  args.require(precision >= 1 && precision <= 17, "precision",
+               "an integer in [1, 17]");
+  opt.engine.precision = static_cast<int>(precision);
+  if (args.has("listen")) {
+    const long long port = args.integer("listen", 0);
+    args.require(port >= 1 && port <= 65535, "listen",
+                 "a port in [1, 65535]");
+    return serve::run_listen(static_cast<int>(port), opt);
+  }
+  const long long use_stdin = args.integer("stdin", 1);
+  args.require(use_stdin == 1, "stdin", "1 (or use --listen PORT)");
+  return serve::run_stdio(opt);
 }
 
 traffic::GameProfile profile_by_name(const std::string& name, int players) {
@@ -743,6 +779,22 @@ const char* usage_text(const std::string& topic) {
            "  runs the analytic solvers and a short simulation, then prints\n"
            "  the solver/simulator telemetry summary\n";
   }
+  if (topic == "serve") {
+    return "fpsq serve [--stdin 1 | --listen PORT] [--queue 1024]\n"
+           "           [--batch 64] [--tick-ms 2] [--deadline-ms 0]\n"
+           "           [--precision 17]\n"
+           "  long-running NDJSON request engine: one JSON request per\n"
+           "  line (ops rtt | dimension | sweep), one JSON response per\n"
+           "  line, in admission order — see docs/SERVING.md for the\n"
+           "  schema. Requests landing in the same micro-batch that share\n"
+           "  a solver configuration are deduplicated and served from the\n"
+           "  shared SolverCache / compiled tail kernels, bit-identical\n"
+           "  to one-shot runs. --queue bounds admission (overflow is\n"
+           "  answered with a structured `shed` error), --deadline-ms\n"
+           "  expires stale requests, SIGTERM/SIGINT drain gracefully\n"
+           "  (every admitted request is answered, then exit 0).\n"
+           "  --listen accepts loopback TCP connections instead of stdin.\n";
+  }
   if (topic == "benchdiff") {
     return "fpsq benchdiff BASELINE.json CURRENT.json\n"
            "               [--timing-tol 0.5] [--timing-abs-tol 0.01]\n"
@@ -757,8 +809,8 @@ const char* usage_text(const std::string& topic) {
            "  baseline refresh hints), 4 accuracy regression\n";
   }
   return "fpsq <command> [--flag value ...]\n\n"
-         "commands: rtt report dimension sweep generate analyze replay"
-         " validate profile benchdiff help\n\n"
+         "commands: rtt report dimension sweep serve generate analyze"
+         " replay validate profile benchdiff help\n\n"
          "scenario flags (defaults = paper Section 4):\n"
          "  --k 9          burst-size Erlang order\n"
          "  --tick 40      tick interval T [ms]\n"
@@ -772,8 +824,10 @@ const char* usage_text(const std::string& topic) {
          "  --jitter 0     server tick CoV (0 = paper's Det ticks;\n"
          "                 > 0 uses the exact GI/E_K/1 model)\n\n"
          "execution flags (every command):\n"
-         "  --threads N          worker threads for sweeps/grids/reps\n"
-         "                       (default: FPSQ_THREADS env, else cores)\n"
+         "  --threads N          worker threads for sweeps/grids/reps;\n"
+         "                       0 = hardware concurrency (same rule as\n"
+         "                       FPSQ_THREADS=0; default: FPSQ_THREADS\n"
+         "                       env, else cores)\n"
          "  --cache 0|1          solver memoization (default 1)\n\n"
          "observability flags (every command):\n"
          "  --metrics-out FILE   write solver/simulator metrics JSON\n"
@@ -808,6 +862,10 @@ std::vector<std::string> flags_for(const std::string& cmd) {
     return with_scenario({"eps", "bound", "ks", "bounds"});
   }
   if (cmd == "sweep") return with_scenario({"eps", "step"});
+  if (cmd == "serve") {
+    return {"stdin",       "listen",    "queue", "batch",
+            "tick-ms",     "deadline-ms", "precision"};
+  }
   if (cmd == "generate") {
     return {"game", "players", "duration", "seed", "out"};
   }
@@ -829,8 +887,9 @@ std::vector<std::string> flags_for(const std::string& cmd) {
 
 bool is_command(const std::string& cmd) {
   return cmd == "rtt" || cmd == "report" || cmd == "dimension" ||
-         cmd == "sweep" || cmd == "generate" || cmd == "analyze" ||
-         cmd == "replay" || cmd == "validate" || cmd == "profile";
+         cmd == "sweep" || cmd == "serve" || cmd == "generate" ||
+         cmd == "analyze" || cmd == "replay" || cmd == "validate" ||
+         cmd == "profile";
 }
 
 int dispatch(const std::string& cmd, const Args& args) {
@@ -838,6 +897,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "report") return cmd_report(args);
   if (cmd == "dimension") return cmd_dimension(args);
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "serve") return cmd_serve(args);
   if (cmd == "generate") return cmd_generate(args);
   if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "replay") return cmd_replay(args);
@@ -920,7 +980,24 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const Args args{cmd, argc, argv, 2};
+    // `serve --stdin` is a mode switch rather than a parameter: accept
+    // it bare by inserting its implied value before the pair parser.
+    std::vector<char*> argv_fixed(argv, argv + argc);
+    static char kImpliedTrue[] = "1";
+    if (cmd == "serve") {
+      for (std::size_t i = 2; i < argv_fixed.size(); ++i) {
+        if (std::string(argv_fixed[i]) == "--stdin" &&
+            (i + 1 == argv_fixed.size() ||
+             std::string(argv_fixed[i + 1]).rfind("--", 0) == 0)) {
+          argv_fixed.insert(argv_fixed.begin() +
+                                static_cast<std::ptrdiff_t>(i) + 1,
+                            kImpliedTrue);
+          ++i;
+        }
+      }
+    }
+    const Args args{cmd, static_cast<int>(argv_fixed.size()),
+                    argv_fixed.data(), 2};
     args.allow_only(flags_for(cmd));
     apply_execution_flags(args);
     if (args.has("trace-out")) {
