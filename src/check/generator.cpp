@@ -1,0 +1,102 @@
+#include "check/generator.h"
+
+#include <cmath>
+
+namespace fpsq::check {
+
+namespace {
+
+/// Decorrelates (seed, salt) into an independent SplitMix64 stream.
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t s =
+      seed ^ (salt * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL);
+  (void)splitmix64(s);  // one scramble so adjacent salts decorrelate
+  return s;
+}
+
+double u01(std::uint64_t& s) noexcept {
+  return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+double uniform(std::uint64_t& s, double lo, double hi) noexcept {
+  return lo + (hi - lo) * u01(s);
+}
+
+double log_uniform(std::uint64_t& s, double lo, double hi) noexcept {
+  return lo * std::exp(u01(s) * std::log(hi / lo));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+CheckPoint sample_point(std::uint64_t seed, std::size_t index) {
+  CheckPoint p;
+  p.index = index;
+  p.seed = seed;
+  std::uint64_t s = mix_stream(seed, static_cast<std::uint64_t>(index) + 1);
+  p.point_seed = s;
+  core::AccessScenario& sc = p.scenario;
+
+  // Erlang order across the admissible spread. K = 1 (D/M/1) points are
+  // law-only; K = 20/32 at low load probe the pole-clash neighbourhood.
+  static constexpr int kOrders[] = {1, 2, 3, 4, 6, 9, 12, 16, 20, 32};
+  sc.erlang_k =
+      kOrders[splitmix64(s) % (sizeof kOrders / sizeof kOrders[0])];
+
+  sc.tick_ms = uniform(s, 10.0, 60.0);
+  sc.server_packet_bytes = uniform(s, 60.0, 300.0);
+  // pc <= 0.8 ps keeps rho_up < rho_down, so stability of the sampled
+  // downlink load implies stability of the uplink.
+  sc.client_packet_bytes = sc.server_packet_bytes * uniform(s, 0.2, 0.8);
+  sc.bottleneck_bps = log_uniform(s, 1.5e6, 2e7);
+  sc.uplink_bps = log_uniform(s, 64e3, 512e3);
+  sc.downlink_bps = log_uniform(s, 512e3, 4e6);
+  sc.propagation_ms = u01(s) < 0.5 ? 0.0 : uniform(s, 0.5, 30.0);
+  sc.server_processing_ms = u01(s) < 0.7 ? 0.0 : uniform(s, 0.1, 5.0);
+  // A minority of points run the GI/E_K/1 jittered-tick generalization.
+  sc.tick_jitter_cov = u01(s) < 0.8 ? 0.0 : uniform(s, 0.02, 0.2);
+
+  // Downlink load, over-weighting the historically fragile regimes.
+  const double r = u01(s);
+  if (r < 0.15) {
+    p.rho_down = log_uniform(s, 1e-4, 5e-3);  // atom ~ 1, quantiles = 0
+  } else if (r < 0.32) {
+    p.rho_down = uniform(s, 0.03, 0.12);  // degeneracy / pole clash
+  } else if (r < 0.80) {
+    p.rho_down = uniform(s, 0.12, 0.90);
+  } else {
+    p.rho_down = uniform(s, 0.90, 0.995);  // heavy traffic
+  }
+  p.n_clients = sc.clients_for_downlink_load(p.rho_down);
+  p.epsilon = log_uniform(s, 1e-7, 1e-2);
+  return p;
+}
+
+CheckPoint sample_sim_point(std::uint64_t seed, std::size_t index) {
+  CheckPoint p;
+  p.index = index;
+  p.seed = seed;
+  std::uint64_t s = mix_stream(seed ^ 0x73696d2d70747300ULL,
+                               static_cast<std::uint64_t>(index) + 1);
+  p.point_seed = s;
+  // Paper Section-4 shape (the AccessScenario defaults) at loads where a
+  // short packet-level run measures the 0.999 quantile reliably.
+  core::AccessScenario& sc = p.scenario;
+  sc.erlang_k = u01(s) < 0.5 ? 2 : 9;
+  const double rho = uniform(s, 0.3, 0.8);
+  double n = std::floor(sc.clients_for_downlink_load(rho));
+  if (n < 4.0) n = 4.0;
+  p.n_clients = n;
+  p.rho_down = sc.downlink_load(n);
+  p.epsilon = 1e-3;  // prob 0.999: sim-measurable in tens of seconds
+  return p;
+}
+
+}  // namespace fpsq::check

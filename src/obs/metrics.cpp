@@ -496,8 +496,16 @@ double MetricsSnapshot::HistogramValue::quantile(double q) const {
     const double next = cum + static_cast<double>(b.count);
     if (next >= target) {
       // Linear interpolation within the bucket, clamped to the observed
-      // range so the underflow (lower = 0) and overflow (upper = inf)
-      // buckets stay finite and the estimate never leaves [min, max].
+      // range so the underflow (lower = 0) bucket stays finite and the
+      // estimate never leaves [min, max].
+      if (!std::isfinite(b.upper)) {
+        // Overflow bucket: clamp at the top log-linear boundary. The
+        // grid carries no shape information past it, so interpolating
+        // toward max would let one huge outlier (or a recorded +inf,
+        // where max itself is inf) drag every upper quantile with it.
+        const double floor_v = std::max(b.lower, min);
+        return std::isfinite(floor_v) ? floor_v : b.lower;
+      }
       double lo = std::max(b.lower, min);
       double hi = std::min(b.upper, max);
       if (i == 0 && b.lower == 0.0) lo = min;  // underflow: true floor
@@ -653,6 +661,13 @@ void ensure_baseline_schema() {
   (void)reg.counter("queueing.kernel.quad_fallbacks");
   (void)reg.counter("queueing.convolution.tail_evals");
   (void)reg.histogram("queueing.kernel.newton_iters");
+  // Serving front end (fpsq::serve): undeliverable responses.
+  (void)reg.counter("serve.write_errors");
+  // Differential self-check harness (fpsq::check, `fpsq check`).
+  (void)reg.counter("check.points");
+  (void)reg.counter("check.comparisons");
+  (void)reg.counter("check.mismatches");
+  (void)reg.counter("check.skipped");
 }
 
 }  // namespace fpsq::obs

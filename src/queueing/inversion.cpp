@@ -33,8 +33,13 @@ double invert_tail_newton(const std::function<double(double)>& tail,
   if (!(scale > 0.0) || !std::isfinite(scale)) {
     scale = 1.0;
   }
+  // Atom guard: with epsilon >= P(X > 0) the target sits in the mass at
+  // zero and no positive bracket exists — the quantile is exactly 0.
+  // Written as !(t0 > epsilon) so a NaN tail (a degenerate law whose
+  // atom cancelled to rounding noise) also short-circuits here instead
+  // of exhausting the bracket expansion below.
   const double t0 = tail(0.0);
-  if (t0 <= epsilon) {
+  if (!(t0 > epsilon)) {
     return 0.0;
   }
   // Bracket: expand from `scale` until the tail drops through epsilon.
@@ -44,21 +49,28 @@ double invert_tail_newton(const std::function<double(double)>& tail,
   double t_hi = tail(hi);
   int guard = 0;
   while (t_hi > epsilon) {
-    lo = hi;
-    t_lo = t_hi;
     // Exponential extrapolation: with tail ~ R e^{-delta x}, the secant
     // in log space jumps straight to the root's neighbourhood instead of
-    // creeping there by doubling.
+    // creeping there by doubling. The slope must be the LOCAL one (over
+    // the last step), not the average from zero: a multi-mode tail that
+    // drops fast near 0 and then flattens makes the average slope a huge
+    // overestimate, every jump undershoots by the ratio of the two, and
+    // the expansion stalls just below the root — `fpsq check` caught
+    // this as a bracket-exhaustion at rho ~ 1e-4 with tick jitter, where
+    // the total law mixes decay rates three decades apart. The 1.0625
+    // growth floor keeps progress geometric even when a jump degenerates.
     double next = 2.0 * hi;
-    if (t_lo > 0.0 && t0 > t_lo && hi > 0.0) {
-      const double delta = std::log(t0 / t_lo) / hi;  // mean decay so far
+    if (t_hi > 0.0 && t_lo > t_hi && hi > lo) {
+      const double delta = std::log(t_lo / t_hi) / (hi - lo);
       if (delta > 0.0 && std::isfinite(delta)) {
-        const double jump = hi + 1.25 * std::log(t_lo / epsilon) / delta;
+        const double jump = hi + 1.25 * std::log(t_hi / epsilon) / delta;
         if (std::isfinite(jump) && jump > hi) {
-          next = std::min(jump, 16.0 * hi);
+          next = std::min(std::max(jump, 1.0625 * hi), 16.0 * hi);
         }
       }
     }
+    lo = hi;
+    t_lo = t_hi;
     hi = next;
     t_hi = tail(hi);
     if (++guard > 200) {

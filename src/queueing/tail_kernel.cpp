@@ -315,7 +315,10 @@ double TailKernel::quantile(double epsilon) const {
   if (!(epsilon > 0.0 && epsilon < 1.0)) {
     throw std::invalid_argument("TailKernel::quantile: epsilon in (0,1)");
   }
-  if (tail(0.0) <= epsilon) return 0.0;
+  // Atom guard (NaN-safe, mirroring invert_tail_newton): epsilon at or
+  // above P(X > 0) — e.g. any epsilon against a rho -> 0 burst wait
+  // whose atom is within rounding of 1 — answers 0 exactly.
+  if (!(tail(0.0) > epsilon)) return 0.0;
   return invert_tail_newton([this](double x) { return tail(x); },
                             [this](double x) { return density(x); },
                             epsilon, bracket_scale_, "queueing.kernel");

@@ -172,8 +172,11 @@ ParsedRequest parse_request(const std::string& line) {
 
     out.request.scenario = scenario_field(root);
     out.request.epsilon = number_field(root, "eps", 1e-5);
-    require(out.request.epsilon > 0.0 && out.request.epsilon < 1.0, "eps",
-            "in (0, 1)");
+    // Same predicate as the CLI's --eps (core::valid_epsilon): the two
+    // layers used to re-implement this range check independently and
+    // drift; now they cannot.
+    require(core::valid_epsilon(out.request.epsilon), "eps",
+            core::kEpsilonConstraint);
     out.request.gamers = number_field(root, "gamers", 60.0);
     require(out.request.gamers > 0.0, "gamers", "> 0");
     out.request.bound_ms = number_field(root, "bound", 50.0);

@@ -27,16 +27,47 @@ FdSink::~FdSink() {
 
 void FdSink::write_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (dead_.load(std::memory_order_relaxed)) return;
+  // Writing to a pipe/socket whose reader is gone raises SIGPIPE, whose
+  // default action kills the whole process — accept loop, batch thread
+  // and every other connection included. Block it for this thread
+  // around the write so the failure surfaces as EPIPE instead, and
+  // consume the pending signal before restoring the mask.
+  sigset_t pipe_set;
+  sigset_t old_set;
+  ::sigemptyset(&pipe_set);
+  ::sigaddset(&pipe_set, SIGPIPE);
+  const bool masked =
+      ::pthread_sigmask(SIG_BLOCK, &pipe_set, &old_set) == 0;
   std::string buf = line;
   buf += '\n';
   std::size_t off = 0;
+  bool failed = false;
   while (off < buf.size()) {
+    // Short writes are normal on sockets under backpressure: keep
+    // writing from the first unsent byte until the line is out.
     const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // receiver gone (EPIPE, closed socket): drop the response
+      // Receiver gone (EPIPE, ECONNRESET) or the fd went bad: this
+      // connection's remaining responses are undeliverable, but the
+      // server must keep serving everyone else.
+      failed = true;
+      break;
     }
     off += static_cast<std::size_t>(n);
+  }
+  if (masked) {
+    if (failed && errno == EPIPE) {
+      struct timespec zero = {0, 0};
+      while (::sigtimedwait(&pipe_set, nullptr, &zero) >= 0) {
+      }
+    }
+    ::pthread_sigmask(SIG_SETMASK, &old_set, nullptr);
+  }
+  if (failed) {
+    FPSQ_OBS_COUNT("serve.write_errors");
+    dead_.store(true, std::memory_order_relaxed);
   }
 }
 
@@ -175,6 +206,15 @@ class DrainSignals {
     sa.sa_flags = 0;  // no SA_RESTART: blocked syscalls return EINTR
     ::sigaction(SIGTERM, &sa, &old_term_);
     ::sigaction(SIGINT, &sa, &old_int_);
+    // A client disconnecting mid-response must surface as EPIPE on the
+    // write (handled per-sink), never as a process-killing SIGPIPE.
+    // FdSink::write_line also masks it per-thread; ignoring it for the
+    // front end's lifetime covers every other incidental write.
+    struct sigaction ign;
+    std::memset(&ign, 0, sizeof ign);
+    ign.sa_handler = SIG_IGN;
+    ::sigemptyset(&ign.sa_mask);
+    ::sigaction(SIGPIPE, &ign, &old_pipe_);
     installed_ = true;
   }
 
@@ -182,6 +222,7 @@ class DrainSignals {
     if (installed_) {
       ::sigaction(SIGTERM, &old_term_, nullptr);
       ::sigaction(SIGINT, &old_int_, nullptr);
+      ::sigaction(SIGPIPE, &old_pipe_, nullptr);
     }
     g_stop_pipe_wr.store(-1, std::memory_order_relaxed);
     if (pipe_fds_[0] >= 0) ::close(pipe_fds_[0]);
@@ -201,6 +242,7 @@ class DrainSignals {
   int pipe_fds_[2] = {-1, -1};
   struct sigaction old_term_{};
   struct sigaction old_int_{};
+  struct sigaction old_pipe_{};
   bool installed_ = false;
 };
 

@@ -30,6 +30,7 @@
 // requests' responses.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <condition_variable>
@@ -55,6 +56,14 @@ class Sink {
 /// when the last shared_ptr owner lets go — which in the socket front
 /// end is after the connection reader exited AND its last queued
 /// response was written, giving connection-lifetime management for free.
+///
+/// A peer that disconnects mid-response (EPIPE/ECONNRESET on a TCP
+/// connection, a closed stdout pipe) must not take the process or the
+/// batch thread with it: write_line() blocks SIGPIPE around the write,
+/// retries short writes, and on a hard error counts serve.write_errors
+/// and marks the sink dead so the remaining responses for this
+/// connection are dropped without touching the fd again. Responses for
+/// other connections in the same batch are unaffected.
 class FdSink : public Sink {
  public:
   explicit FdSink(int fd, bool close_on_destroy = false)
@@ -62,10 +71,16 @@ class FdSink : public Sink {
   ~FdSink() override;
   void write_line(const std::string& line) override;
 
+  /// True once a write failed (receiver gone); later writes are no-ops.
+  [[nodiscard]] bool dead() const noexcept {
+    return dead_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::mutex mu_;
   int fd_;
   bool close_;
+  std::atomic<bool> dead_{false};
 };
 
 struct ServerOptions {

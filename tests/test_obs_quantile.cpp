@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -139,6 +140,42 @@ TEST(ObsQuantile, BimodalMassSplitsAtTheGap) {
   ASSERT_NE(hv, nullptr);
   EXPECT_LT(hv->quantile(0.25), 2.0);
   EXPECT_GT(hv->quantile(0.75), 900.0);
+}
+
+// ---- regression: overflow-bucket clamping (ISSUE 10 satellite) ---------
+//
+// The grid's top log-linear boundary is 1e18; anything beyond lands in
+// the overflow bucket, whose upper bound is +inf. The old interpolation
+// ran toward `max` there, so one absurd outlier dragged p50/p90/p99
+// arbitrarily high (and a recorded +inf made them all inf). Quantiles
+// that resolve in the overflow bucket must clamp at its boundary (or
+// the observed min when even that sits past the boundary) instead of
+// extrapolating shape the histogram does not have.
+
+TEST(ObsQuantile, OverflowBucketQuantilesClampAtTopBoundary) {
+  const double top = Histogram::bucket_lower_bound(Histogram::kBuckets - 1);
+  EXPECT_FALSE(std::isfinite(
+      Histogram::bucket_upper_bound(Histogram::kBuckets - 1)));
+  std::vector<double> values = {10.0};
+  for (int i = 0; i < 9; ++i) values.push_back(1e20);
+  const auto* hv = record_and_find("test.quantile.overflow", values);
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->quantile(0.5), top);
+  EXPECT_EQ(hv->quantile(0.9), top);
+  EXPECT_EQ(hv->quantile(0.99), top);
+  EXPECT_LT(hv->quantile(0.1), 100.0);  // below-overflow mass unaffected
+}
+
+TEST(ObsQuantile, InfiniteSamplesYieldFiniteQuantiles) {
+  const double top = Histogram::bucket_lower_bound(Histogram::kBuckets - 1);
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto* hv = record_and_find("test.quantile.inf", {inf, inf, inf});
+  ASSERT_NE(hv, nullptr);
+  // min == max == inf here; the clamp must still answer the boundary,
+  // never inf or NaN.
+  EXPECT_EQ(hv->quantile(0.5), top);
+  EXPECT_EQ(hv->quantile(0.99), top);
+  EXPECT_TRUE(std::isfinite(hv->quantile(0.999)));
 }
 
 }  // namespace

@@ -2,12 +2,18 @@
 // micro-batching, admission-order responses, and drain semantics.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace fpsq {
@@ -176,6 +182,83 @@ TEST(ServeServer, OptionsClampToSaneMinimums) {
   Server server{opts};
   EXPECT_GE(server.options().max_queue, 1u);
   EXPECT_GE(server.options().max_batch, 1u);
+}
+
+// ---- regression: client disconnect mid-response (ISSUE 10 satellite) ---
+//
+// Writing a response to a pipe whose read end is gone raises SIGPIPE
+// (default action: kill the process) and fails with EPIPE. The sink
+// must survive that — mask the signal around the write, mark itself
+// dead, count serve.write_errors — so one dropped TCP connection can
+// neither crash the front end nor steal responses from other clients.
+
+TEST(ServeServer, WriteToClosedPipeDoesNotCrash) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // receiver hangs up before any response
+#ifndef FPSQ_NO_METRICS
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset();
+#endif
+  serve::FdSink sink(fds[1], /*close_on_destroy=*/true);
+  EXPECT_FALSE(sink.dead());
+  sink.write_line(R"({"id":"gone","ok":true})");  // EPIPE, not SIGPIPE
+  EXPECT_TRUE(sink.dead());
+  sink.write_line("ignored");  // dead sink: no syscall, still no crash
+  EXPECT_TRUE(sink.dead());
+#ifndef FPSQ_NO_METRICS
+  std::uint64_t write_errors = 0;
+  for (const auto& c : reg.snapshot().counters) {
+    if (c.name == "serve.write_errors") write_errors = c.value;
+  }
+  EXPECT_EQ(write_errors, 1u);  // the no-op repeat is not re-counted
+#endif
+}
+
+TEST(ServeServer, PartialWritesDeliverWholeLine) {
+  // A pipe with a tiny capacity forces write() to return short counts;
+  // the sink must loop until the whole line (plus newline) is out.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+#ifdef F_SETPIPE_SZ
+  (void)::fcntl(fds[1], F_SETPIPE_SZ, 4096);
+#endif
+  const std::string line(3000, 'x');
+  serve::FdSink sink(fds[1], /*close_on_destroy=*/true);
+  std::string got;
+  std::thread reader([&] {
+    char buf[512];
+    for (;;) {
+      const ssize_t n = ::read(fds[0], buf, sizeof buf);
+      if (n <= 0) break;
+      got.append(buf, static_cast<std::size_t>(n));
+      if (got.size() >= line.size() + 1) break;
+    }
+  });
+  sink.write_line(line);
+  reader.join();
+  ::close(fds[0]);
+  EXPECT_FALSE(sink.dead());
+  EXPECT_EQ(got, line + "\n");
+}
+
+TEST(ServeServer, DeadConnectionDoesNotStarveOthers) {
+  // Two connections in one batch loop; one hangs up. The other must
+  // still receive its response and the loop must not terminate.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  auto dead_sink = std::make_shared<serve::FdSink>(fds[1], true);
+  auto live_sink = std::make_shared<CollectSink>();
+  Server server;
+  server.start();
+  server.submit_line(R"({"id":"d","op":"rtt"})", dead_sink);
+  server.submit_line(R"({"id":"l","op":"rtt"})", live_sink);
+  server.drain();
+  const auto lines = live_sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(id_of(lines[0]), "l");
+  EXPECT_TRUE(dead_sink->dead());
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.h"
 #include "core/dimensioning.h"
 #include "core/report.h"
 #include "serve/server.h"
@@ -260,10 +261,13 @@ core::AccessScenario scenario_from(const Args& args) {
   return s;
 }
 
-/// The epsilon flag shared by the analytic commands.
+/// The epsilon flag shared by the analytic commands. The range check is
+/// core::valid_epsilon — the same predicate serve::parse_request applies
+/// to the NDJSON "eps" field, so the CLI and the serving layer accept
+/// exactly the same values.
 double epsilon_from(const Args& args) {
   const double eps = args.number("eps", 1e-5);
-  args.require(eps > 0.0 && eps < 1.0, "eps", "in (0, 1)");
+  args.require(core::valid_epsilon(eps), "eps", core::kEpsilonConstraint);
   return eps;
 }
 
@@ -724,6 +728,40 @@ int cmd_benchdiff(const std::string& baseline_path,
 /// Per-command usage text, shared by `fpsq help <cmd>` and the parse
 /// error path (which prints it to stderr under the error message). An
 /// unknown topic gets the general synopsis.
+/// `fpsq check`: the differential self-check harness (src/check/,
+/// docs/CHECKING.md). Exit 0 on a clean run, 1 when any cross-path
+/// comparison disagrees beyond its tolerance.
+int cmd_check(const Args& args) {
+  check::CheckOptions opt;
+  const long long points = args.integer("points", 200);
+  // 0 is allowed so a sim-corpus mismatch can be reproduced alone
+  // (--points 0 --sim-points N, the hint printed in its record).
+  args.require(points >= 0 && points <= 1000000, "points",
+               "an integer in [0, 1000000]");
+  opt.points = static_cast<std::size_t>(points);
+  const long long seed = args.integer("seed", 1);
+  args.require(seed >= 0, "seed", ">= 0");
+  opt.seed = static_cast<std::uint64_t>(seed);
+  const long long serve_points = args.integer("serve-points", 8);
+  args.require(serve_points >= 0, "serve-points", ">= 0");
+  opt.serve_points = static_cast<std::size_t>(serve_points);
+  const long long sim_points = args.integer("sim-points", 2);
+  args.require(sim_points >= 0, "sim-points", ">= 0");
+  opt.sim_points = static_cast<std::size_t>(sim_points);
+  const long long sim_reps = args.integer("sim-reps", 3);
+  args.require(sim_reps >= 1 && sim_reps <= 64, "sim-reps",
+               "an integer in [1, 64]");
+  opt.sim_replications = static_cast<int>(sim_reps);
+  opt.sim_duration_s = args.number("sim-duration", 20.0);
+  args.require(opt.sim_duration_s > 0.0, "sim-duration", "> 0 [s]");
+  opt.perturb = args.number("perturb", 0.0);
+  args.require(std::isfinite(opt.perturb), "perturb", "finite");
+
+  const check::CheckReport report = check::run_check(opt);
+  std::fputs(report.to_text().c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}
+
 const char* usage_text(const std::string& topic) {
   if (topic == "rtt") {
     return "fpsq rtt --gamers N [--eps 1e-5] [scenario flags]\n"
@@ -795,6 +833,21 @@ const char* usage_text(const std::string& topic) {
            "  (every admitted request is answered, then exit 0).\n"
            "  --listen accepts loopback TCP connections instead of stdin.\n";
   }
+  if (topic == "check") {
+    return "fpsq check [--points 200] [--seed 1] [--serve-points 8]\n"
+           "           [--sim-points 2] [--sim-reps 3] [--sim-duration 20]\n"
+           "           [--perturb 0]\n"
+           "  differential self-check: samples a seeded corpus of\n"
+           "  admissible parameter points and cross-evaluates every\n"
+           "  independent tail path (compiled kernels, direct pole sums,\n"
+           "  the adaptive-quadrature oracle, inversion round trips,\n"
+           "  packet-level simulation, the batched serve engine); prints\n"
+           "  one reproducible record per disagreement. Deterministic:\n"
+           "  the report is bit-identical at any --threads count.\n"
+           "  --perturb X biases the kernel side by X (self-test: a\n"
+           "  nonzero perturbation must fail). Exit 0 clean, 1 mismatch.\n"
+           "  See docs/CHECKING.md for the tolerance ladder.\n";
+  }
   if (topic == "benchdiff") {
     return "fpsq benchdiff BASELINE.json CURRENT.json\n"
            "               [--timing-tol 0.5] [--timing-abs-tol 0.01]\n"
@@ -809,8 +862,8 @@ const char* usage_text(const std::string& topic) {
            "  baseline refresh hints), 4 accuracy regression\n";
   }
   return "fpsq <command> [--flag value ...]\n\n"
-         "commands: rtt report dimension sweep serve generate analyze"
-         " replay validate profile benchdiff help\n\n"
+         "commands: rtt report dimension sweep serve check generate"
+         " analyze replay validate profile benchdiff help\n\n"
          "scenario flags (defaults = paper Section 4):\n"
          "  --k 9          burst-size Erlang order\n"
          "  --tick 40      tick interval T [ms]\n"
@@ -866,6 +919,10 @@ std::vector<std::string> flags_for(const std::string& cmd) {
     return {"stdin",       "listen",    "queue", "batch",
             "tick-ms",     "deadline-ms", "precision"};
   }
+  if (cmd == "check") {
+    return {"points",   "seed",         "serve-points", "sim-points",
+            "sim-reps", "sim-duration", "perturb"};
+  }
   if (cmd == "generate") {
     return {"game", "players", "duration", "seed", "out"};
   }
@@ -887,9 +944,9 @@ std::vector<std::string> flags_for(const std::string& cmd) {
 
 bool is_command(const std::string& cmd) {
   return cmd == "rtt" || cmd == "report" || cmd == "dimension" ||
-         cmd == "sweep" || cmd == "serve" || cmd == "generate" ||
-         cmd == "analyze" || cmd == "replay" || cmd == "validate" ||
-         cmd == "profile";
+         cmd == "sweep" || cmd == "serve" || cmd == "check" ||
+         cmd == "generate" || cmd == "analyze" || cmd == "replay" ||
+         cmd == "validate" || cmd == "profile";
 }
 
 int dispatch(const std::string& cmd, const Args& args) {
@@ -898,6 +955,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "dimension") return cmd_dimension(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "check") return cmd_check(args);
   if (cmd == "generate") return cmd_generate(args);
   if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "replay") return cmd_replay(args);
